@@ -1,0 +1,31 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every benchmark prints the rows the corresponding paper figure plots and
+also writes them to ``benchmarks/results/<figure>.txt`` so the output
+survives pytest's capture.  Run with ``pytest benchmarks/ --benchmark-only``
+(add ``-s`` to watch the tables live).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable(name, text): echo + persist a figure's result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

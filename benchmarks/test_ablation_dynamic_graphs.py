@@ -1,0 +1,93 @@
+"""Ablation — complete-graph scaling vs per-class scaling (paper §7/§9).
+
+Erms merges all observed variants of a dynamic dependency graph into one
+complete graph and scales for it, over-provisioning when most requests
+touch only a subset (§7).  The paper's stated future work — cluster the
+variants into classes and scale per class (§9) — is implemented in
+``repro.graphs.clustering``; this ablation measures the savings as the
+traffic skew toward the short variant grows.
+"""
+
+from repro.core import ServiceSpec, compute_service_targets
+from repro.experiments import format_table
+from repro.graphs import DependencyGraph, call
+from repro.graphs.clustering import class_workloads, cluster_graphs, merge_variants
+from repro.workloads import analytic_profile
+
+from conftest import run_once
+
+WORKLOAD = 80_000.0
+SLA = 250.0
+
+
+def _variants():
+    short = DependencyGraph(
+        "svc", call("fe", stages=[[call("core")]])
+    )
+    long = DependencyGraph(
+        "svc",
+        call(
+            "fe",
+            stages=[
+                [
+                    call(
+                        "core",
+                        stages=[[call("heavy", stages=[[call("heavy-db")]])]],
+                    )
+                ]
+            ],
+        ),
+    )
+    profiles = {
+        "fe": analytic_profile("fe", base_service_ms=3.0, threads=4),
+        "core": analytic_profile("core", base_service_ms=8.0, threads=2),
+        "heavy": analytic_profile("heavy", base_service_ms=40.0, threads=1),
+        "heavy-db": analytic_profile("heavy-db", base_service_ms=20.0, threads=2),
+    }
+    return short, long, profiles
+
+
+def _containers(graph, workload, profiles):
+    spec = ServiceSpec("svc", graph, workload=workload, sla=SLA)
+    return sum(compute_service_targets(spec, profiles).containers.values())
+
+
+def _run():
+    short, long, profiles = _variants()
+    complete = merge_variants("svc", [short, long])
+    rows = []
+    for short_fraction in (0.5, 0.8, 0.95):
+        complete_total = _containers(complete, WORKLOAD, profiles)
+        classes = cluster_graphs(
+            [short, long],
+            frequencies=[short_fraction, 1.0 - short_fraction],
+            similarity_threshold=0.9,
+        )
+        per_class_total = sum(
+            _containers(cls.representative, load, profiles)
+            for cls, load in zip(classes, class_workloads(classes, WORKLOAD))
+        )
+        rows.append(
+            {
+                "short_path_fraction": short_fraction,
+                "complete_graph": complete_total,
+                "per_class": per_class_total,
+                "savings": 1.0 - per_class_total / complete_total,
+            }
+        )
+    return rows
+
+
+def test_ablation_dynamic_graphs(benchmark, report):
+    rows = run_once(benchmark, _run)
+    report(
+        "ablation_dynamic_graphs",
+        format_table(rows, "Ablation - complete-graph vs per-class scaling (§9)"),
+    )
+    # Per-class scaling never costs more, and saves substantially once
+    # most traffic takes the short path (the §7 over-provisioning).
+    for row in rows:
+        assert row["per_class"] <= row["complete_graph"]
+    by_skew = {row["short_path_fraction"]: row["savings"] for row in rows}
+    assert by_skew[0.95] >= 0.2
+    assert by_skew[0.95] >= by_skew[0.5]

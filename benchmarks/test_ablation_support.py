@@ -1,0 +1,42 @@
+"""Shared data generators for the ablation benchmarks.
+
+(Named ``test_ablation_support`` only so it sits beside its users; it
+defines no tests.)
+"""
+
+import numpy as np
+
+
+def extended_synthetic_samples(n=1440, mbw_weight=0.0, seed=0, noise=0.04):
+    """Per-minute samples whose steep slope depends on cpu, mem, and
+    optionally memory-bandwidth pressure (the §9 extension's target)."""
+    rng = np.random.default_rng(seed)
+    hours = (n + 59) // 60
+    levels = rng.uniform(0.1, 0.9, size=(hours, 3))  # cpu, mem, mbw
+    loads = rng.uniform(1.0, 250.0, size=n)
+    cpu = np.empty(n)
+    mem = np.empty(n)
+    mbw = np.empty(n)
+    latencies = np.empty(n)
+    for index in range(n):
+        c, m, w = levels[index // 60]
+        cpu[index], mem[index], mbw[index] = c, m, w
+        sigma = max(150.0 * (1.0 - 0.4 * (c + m) / 2.0), 1.0)
+        low_slope = 0.02 * c + 0.03 * m + 0.01
+        load = loads[index]
+        if load <= sigma:
+            truth = low_slope * load + 2.0
+        else:
+            high_slope = 0.5 * c + 0.8 * m + mbw_weight * w + 0.1
+            truth = (low_slope * sigma + 2.0) + high_slope * (load - sigma)
+        latencies[index] = truth * rng.lognormal(0.0, noise)
+    return loads, {"cpu": cpu, "memory": mem, "mbw": mbw}, latencies
+
+
+def split_extended(arrays, fraction=22 / 24):
+    """Chronological train/test split of (loads, resources, latencies)."""
+    loads, resources, latencies = arrays
+    k = int(len(loads) * fraction)
+    train = (loads[:k], {n: v[:k] for n, v in resources.items()}, latencies[:k])
+    test = (loads[k:], {n: v[k:] for n, v in resources.items()}, latencies[k:])
+    return train, test

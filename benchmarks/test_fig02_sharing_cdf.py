@@ -1,0 +1,38 @@
+"""Fig. 2 — CDF of microservices shared by N online services.
+
+Paper: from Alibaba traces (20 000+ microservices, 1000+ services), 40 %
+of microservices are shared by more than 100 online services.
+
+Measured here: the same CDF over the synthetic sharing population.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.workloads import sharing_counts
+
+from conftest import run_once
+
+
+def test_fig02_sharing_cdf(benchmark, report):
+    counts = run_once(
+        benchmark,
+        lambda: sharing_counts(n_microservices=20_000, n_services=1_000, seed=0),
+    )
+
+    thresholds = [1, 10, 50, 100, 200, 500]
+    rows = [
+        {
+            "shared_by_more_than": t,
+            "fraction_of_microservices": float(np.mean(counts > t)),
+        }
+        for t in thresholds
+    ]
+    report("fig02_sharing_cdf", format_table(rows, "Fig. 2 - microservice sharing CDF"))
+
+    fraction_over_100 = float(np.mean(counts > 100))
+    # Paper headline: ~40% shared by >100 services.
+    assert 0.30 <= fraction_over_100 <= 0.50
+    # The CDF is monotone in the threshold.
+    fractions = [row["fraction_of_microservices"] for row in rows]
+    assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,75 @@
+"""Fig. 3 — P95 microservice latency is piecewise-linear in the workload.
+
+Paper: each latency/load curve has a cut-off point; below it latency grows
+slowly and almost linearly, above it much faster.  Higher host
+interference steepens the post-cutoff slope (up to 5x between hosts) and
+moves the cut-off forward (saturation starts earlier).
+
+Measured here: a single simulated container is swept across per-container
+loads at three interference levels; the piecewise fit must show the same
+slope ordering and cut-off shift, with good fit quality (T vs F curves).
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.experiments.harness import simulate_profiling_sweep
+from repro.profiling import fit_piecewise
+from repro.simulator import SimulatedMicroservice
+
+from conftest import run_once
+
+MICROSERVICE = SimulatedMicroservice("probe", base_service_ms=10.0, threads=2)
+MULTIPLIERS = [1.0, 1.5, 2.5]  # idle, moderate, heavy interference
+
+
+def _sweep():
+    fits = {}
+    for multiplier in MULTIPLIERS:
+        capacity = MICROSERVICE.threads / (
+            MICROSERVICE.base_service_ms * multiplier
+        ) * 60_000.0
+        loads = np.linspace(0.1 * capacity, 0.95 * capacity, 8)
+        xs, ys = simulate_profiling_sweep(
+            MICROSERVICE,
+            loads,
+            interference_multiplier=multiplier,
+            duration_min=1.2,
+            warmup_min=0.3,
+            seed=17,
+        )
+        fits[multiplier] = (xs, ys, fit_piecewise(xs, ys))
+    return fits
+
+
+def test_fig03_piecewise_latency(benchmark, report):
+    fits = run_once(benchmark, _sweep)
+
+    rows = []
+    for multiplier, (xs, ys, fit) in fits.items():
+        rows.append(
+            {
+                "interference_multiplier": multiplier,
+                "low_slope": fit.model.low.slope,
+                "high_slope": fit.model.high.slope,
+                "cutoff_req_per_min": fit.model.cutoff,
+                "r_squared": fit.r_squared,
+            }
+        )
+    report(
+        "fig03_piecewise_latency",
+        format_table(rows, "Fig. 3 - piecewise latency fits", "{:.4f}"),
+    )
+
+    for multiplier, (xs, ys, fit) in fits.items():
+        # The curve has a real knee: post-cutoff slope far steeper.
+        assert fit.model.high.slope > 3.0 * max(fit.model.low.slope, 1e-9)
+        # The piecewise model fits the measured curve (F tracks T).
+        assert fit.r_squared > 0.8
+
+    # Interference steepens the (absolute-load) latency curve...
+    slopes = [fits[m][2].model.high.slope for m in MULTIPLIERS]
+    assert slopes[2] > slopes[0]
+    # ...and moves the cut-off forward.
+    cutoffs = [fits[m][2].model.cutoff for m in MULTIPLIERS]
+    assert cutoffs[2] < cutoffs[0]

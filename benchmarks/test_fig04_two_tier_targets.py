@@ -1,0 +1,102 @@
+"""Fig. 4 — latency targets and resource usage for a two-tier service.
+
+Paper: for the userTimeline (U, workload-sensitive) -> postStorage (P)
+chain, Erms gives U a *higher* latency target than the mean-statistics
+baselines do, and thereby deploys up to 58% fewer containers at high
+workload (6x at low workload) for the same tail latency.
+
+Measured here: the same chain with our Social Network ground truth, at a
+low- and a high-workload setting.
+"""
+
+from repro.baselines import GrandSLAm, Rhythm
+from repro.core import ErmsScaler, ServiceSpec, predicted_end_to_end
+from repro.experiments import format_table
+from repro.graphs import DependencyGraph, call
+from repro.workloads import analytic_profile
+
+from conftest import run_once
+
+SLA = 250.0
+LOW, HIGH = 2_000.0, 40_000.0
+
+
+def _setup():
+    # Paper-scale scenario: 0.1-core containers with ~1-4k req/min
+    # capacity each, U markedly more workload-sensitive than P.
+    graph = DependencyGraph(
+        "two-tier",
+        call("user-timeline-service", stages=[[call("post-storage-service")]]),
+    )
+    profiles = {
+        "user-timeline-service": analytic_profile(
+            "user-timeline-service", base_service_ms=50.0, threads=1
+        ),
+        "post-storage-service": analytic_profile(
+            "post-storage-service", base_service_ms=25.0, threads=2
+        ),
+    }
+    return graph, profiles
+
+
+def _run():
+    graph, profiles = _setup()
+    schemes = [ErmsScaler(), GrandSLAm(), Rhythm()]
+    outcomes = {}
+    for workload in (LOW, HIGH):
+        spec = ServiceSpec("two-tier", graph, workload=workload, sla=SLA)
+        for scheme in schemes:
+            allocation = scheme.scale([spec], profiles)
+            outcomes[(workload, scheme.name)] = {
+                "target_U": allocation.targets["two-tier"].get(
+                    "user-timeline-service"
+                ),
+                "containers": allocation.total_containers(),
+                "e2e": predicted_end_to_end(spec, profiles, allocation.containers),
+            }
+    return outcomes
+
+
+def test_fig04_two_tier_targets(benchmark, report):
+    outcomes = run_once(benchmark, _run)
+
+    rows = [
+        {
+            "workload": workload,
+            "scheme": scheme,
+            "U_target_ms": data["target_U"] or float("nan"),
+            "containers": data["containers"],
+            "predicted_e2e_ms": data["e2e"],
+        }
+        for (workload, scheme), data in outcomes.items()
+    ]
+    report(
+        "fig04_two_tier_targets",
+        format_table(rows, "Fig. 4 - two-tier latency targets and containers"),
+    )
+
+    for workload in (LOW, HIGH):
+        erms = outcomes[(workload, "erms")]
+        # Erms never uses more containers and always meets the SLA in the
+        # shared model.  Baselines may predict a violation: Rhythm's
+        # variance-weighted split can hand P a target below its idle
+        # latency floor — unmeetable at any scale, the exact pathology the
+        # paper attributes to fixed-statistics targets (Fig. 4a).
+        assert erms["e2e"] <= SLA + 1e-6
+        for baseline in ("grandslam", "rhythm"):
+            other = outcomes[(workload, baseline)]
+            assert erms["containers"] <= other["containers"]
+
+    # The sensitive U receives a larger latency target under Erms than
+    # under the fixed mean-proportional split (Fig. 4a).
+    erms_high = outcomes[(HIGH, "erms")]
+    gs_high = outcomes[(HIGH, "grandslam")]
+    assert erms_high["target_U"] > gs_high["target_U"]
+
+    # Savings against the statistics-based baselines (paper: up to 6x at
+    # light load, 58% at heavy load).  In our framework the big gap shows
+    # against Rhythm — whose variance-weighted split under-budgets P
+    # hopelessly — while our GrandSLAm implementation lands close to the
+    # optimum on this 2-node chain (see EXPERIMENTS.md).
+    assert outcomes[(LOW, "rhythm")]["containers"] >= 4 * outcomes[(LOW, "erms")]["containers"]
+    assert outcomes[(HIGH, "rhythm")]["containers"] >= 2 * erms_high["containers"]

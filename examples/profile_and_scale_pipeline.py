@@ -1,0 +1,87 @@
+"""The full Erms pipeline: trace -> profile -> scale -> validate.
+
+Reproduces the system loop of paper Fig. 6 end to end on the simulator
+substrate:
+
+1. *Tracing Coordinator* — run a service, synthesize Jaeger-style spans,
+   extract the dependency graph and per-microservice latencies (Eq. 1).
+2. *Offline Profiling* — sweep each microservice across per-container
+   loads on the simulator and fit the piecewise latency model (§5.2).
+3. *Online Scaling* — compute latency targets and containers from the
+   *measured* profiles (§5.3).
+4. *Validation* — replay the allocation and compare the simulated P95
+   against the SLA.
+
+Run:  python examples/profile_and_scale_pipeline.py
+"""
+
+from repro.core import ErmsScaler, ServiceSpec
+from repro.experiments import (
+    evaluate_allocation,
+    fit_profiles_from_simulation,
+    format_table,
+)
+from repro.graphs import DependencyGraph, call
+from repro.simulator import SimulatedMicroservice
+from repro.tracing import TracingCoordinator, synthesize_trace
+
+SLA = 150.0
+WORKLOAD = 9_000.0
+
+
+def main():
+    # Ground truth the controller does NOT see directly: service times and
+    # thread counts of the three microservices.
+    simulated = {
+        "frontend": SimulatedMicroservice("frontend", base_service_ms=3.0, threads=4),
+        "search": SimulatedMicroservice("search", base_service_ms=12.0, threads=1),
+        "geo": SimulatedMicroservice("geo", base_service_ms=6.0, threads=2),
+    }
+    graph = DependencyGraph(
+        "hotel-search",
+        call("frontend", stages=[[call("search", stages=[[call("geo")]])]]),
+    )
+
+    # --- 1. Tracing: reconstruct the graph from spans -------------------
+    coordinator = TracingCoordinator()
+    coordinator.offer(
+        synthesize_trace(graph, {"frontend": 3.0, "search": 12.0, "geo": 6.0})
+    )
+    extracted = coordinator.extract_graph("hotel-search")
+    print("Graph extracted from spans:", extracted.critical_paths())
+
+    # --- 2. Offline profiling against the simulator ---------------------
+    print("Profiling microservices (simulated load sweeps)...")
+    profiles = fit_profiles_from_simulation(
+        simulated, sweep_points=8, duration_min=0.8, seed=7
+    )
+    rows = [
+        {
+            "microservice": name,
+            "cutoff_req_min": profile.model.cutoff,
+            "low_slope": profile.model.low.slope,
+            "high_slope": profile.model.high.slope,
+        }
+        for name, profile in profiles.items()
+    ]
+    print(format_table(rows, "Fitted piecewise profiles", "{:.4f}"))
+
+    # --- 3. Online scaling on the measured profiles ---------------------
+    spec = ServiceSpec("hotel-search", extracted, workload=WORKLOAD, sla=SLA)
+    allocation = ErmsScaler().scale([spec], profiles)
+    print("\nContainers:", dict(sorted(allocation.containers.items())))
+
+    # --- 4. Validate on the simulator ------------------------------------
+    result = evaluate_allocation(
+        [spec], simulated, allocation, duration_min=1.5, warmup_min=0.5, seed=3
+    )
+    p95 = result.tail_latency("hotel-search")
+    violation = result.sla_violation_rate("hotel-search", SLA)
+    print(
+        f"\nSimulated P95 = {p95:.1f} ms (SLA {SLA:.0f} ms), "
+        f"violation rate = {violation:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Shared machinery for the baseline autoscalers.
+
+GrandSLAm and Rhythm allocate latency targets from *statistics* of
+microservice latency observed across workloads (mean, variance, and the
+correlation with end-to-end latency).  The paper's §2.2 critique is exactly
+that these statistics are fixed — they do not change with the operating
+point — so the baselines misallocate under load.  We compute them from the
+same profiled latency models Erms uses, sweeping the admissible load range,
+which is both faithful and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.model import MicroserviceProfile, ServiceSpec
+
+
+@dataclass(frozen=True)
+class MicroserviceStats:
+    """Workload-independent latency statistics of one microservice."""
+
+    mean: float
+    variance: float
+    correlation: float
+
+    def __post_init__(self) -> None:
+        if self.mean < 0 or self.variance < 0:
+            raise ValueError("mean and variance must be non-negative")
+
+
+def stats_from_profiles(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    sweep_points: int = 40,
+) -> Dict[str, MicroserviceStats]:
+    """Latency statistics per microservice of one service.
+
+    Sweeps each microservice's per-container load from near zero to 30 %
+    past its cut-off (the observable operating range), evaluates the
+    profiled latency, and computes mean, variance, and the Pearson
+    correlation with the end-to-end latency folded through the graph at
+    the same sweep index — mimicking how the baselines would fit these
+    statistics from historic traces.
+    """
+    names = spec.graph.microservices()
+    fractions = np.linspace(0.05, 1.3, sweep_points)
+    series: Dict[str, np.ndarray] = {}
+    for name in names:
+        model = profiles[name].model
+        loads = fractions * model.cutoff
+        series[name] = np.array([model.latency(load) for load in loads])
+
+    e2e = np.zeros(sweep_points)
+    for index in range(sweep_points):
+        latencies = {name: float(series[name][index]) for name in names}
+        e2e[index] = spec.graph.end_to_end_latency(latencies)
+
+    stats: Dict[str, MicroserviceStats] = {}
+    for name in names:
+        values = series[name]
+        mean = float(np.mean(values))
+        variance = float(np.var(values))
+        if np.std(values) > 0 and np.std(e2e) > 0:
+            correlation = float(np.corrcoef(values, e2e)[0, 1])
+        else:
+            correlation = 0.0
+        stats[name] = MicroserviceStats(
+            mean=mean, variance=variance, correlation=abs(correlation)
+        )
+    return stats
+
+
+def structural_weight_denominator(
+    spec: ServiceSpec, weights: Mapping[str, float]
+) -> float:
+    """Fold weights through the graph: sum sequential, max parallel.
+
+    Allocating ``T_i = SLA · w_i / denom`` with this denominator guarantees
+    every critical path's target sum stays within the SLA, since each
+    path's weight sum is at most the folded total.
+    """
+    return spec.graph.end_to_end_latency(dict(weights))
+
+
+def targets_from_weights(
+    spec: ServiceSpec, weights: Mapping[str, float]
+) -> Dict[str, float]:
+    """Proportional SLA split: T_i = SLA · w_i / structural_fold(w).
+
+    Zero or degenerate weights fall back to a uniform split.
+    """
+    names = spec.graph.microservices()
+    safe = {name: max(weights.get(name, 0.0), 0.0) for name in names}
+    if all(value == 0.0 for value in safe.values()):
+        safe = {name: 1.0 for name in names}
+    denominator = structural_weight_denominator(spec, safe)
+    if denominator <= 0:
+        safe = {name: 1.0 for name in names}
+        denominator = structural_weight_denominator(spec, safe)
+    return {
+        name: spec.sla * safe[name] / denominator for name in names
+    }

@@ -1,0 +1,94 @@
+"""GrandSLAm baseline (Kannan et al., EuroSys'19; paper §6.1).
+
+GrandSLAm splits the end-to-end SLA across the stages of a microservice
+pipeline *proportionally to each stage's average latency* observed across
+workloads.  The allocation is independent of the current operating point —
+the limitation paper §2.2 demonstrates in Fig. 4: the workload-sensitive
+microservice is under-budgeted exactly when the workload is high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.baselines.base import stats_from_profiles, targets_from_weights
+from repro.core.model import (
+    Allocation,
+    MicroserviceProfile,
+    ServiceSpec,
+    best_effort_containers,
+)
+from repro.core.scaling import Autoscaler, apply_fcfs_shared_scaling
+
+
+@dataclass
+class GrandSLAm(Autoscaler):
+    """Mean-latency-proportional SLA splitting.
+
+    Attributes:
+        sweep_points: Resolution of the statistics sweep.
+        use_priority: When True, requests at shared microservices are
+            priority-scheduled (ranked by target) instead of FCFS — the
+            §6.4.2 "GrandSLAm + priority" variant.  Note that unlike Erms,
+            targets are *not* recomputed: the paper's point is that bolting
+            priority onto GrandSLAm barely helps.
+    """
+
+    sweep_points: int = 40
+    use_priority: bool = False
+    interference_aware: bool = False
+    name: str = "grandslam"
+
+    def __post_init__(self) -> None:
+        if self.use_priority:
+            self.name = "grandslam+priority"
+
+    def scale(
+        self,
+        specs: Sequence[ServiceSpec],
+        profiles: Mapping[str, MicroserviceProfile],
+    ) -> Allocation:
+        allocation = Allocation()
+        per_service_targets: Dict[str, Dict[str, float]] = {}
+        for spec in specs:
+            stats = stats_from_profiles(spec, profiles, self.sweep_points)
+            weights = {name: s.mean for name, s in stats.items()}
+            targets = targets_from_weights(spec, weights)
+            per_service_targets[spec.name] = targets
+            allocation.targets[spec.name] = targets
+            workloads = spec.microservice_workloads()
+            for ms_name, target in targets.items():
+                needed = best_effort_containers(
+                    profiles[ms_name].model, workloads[ms_name], target
+                )
+                allocation.containers[ms_name] = max(
+                    allocation.containers.get(ms_name, 0), needed
+                )
+
+        apply_fcfs_shared_scaling(specs, profiles, per_service_targets, allocation)
+        if self.use_priority:
+            allocation.priorities = _priorities_from_targets(
+                specs, per_service_targets
+            )
+        return allocation
+
+
+def _priorities_from_targets(
+    specs: Sequence[ServiceSpec],
+    per_service_targets: Mapping[str, Mapping[str, float]],
+) -> Dict[str, Dict[str, int]]:
+    """Rank services at shared microservices by their targets (low first)."""
+    users: Dict[str, list] = {}
+    for spec in specs:
+        for name in spec.graph.microservices():
+            users.setdefault(name, []).append(spec.name)
+    priorities: Dict[str, Dict[str, int]] = {}
+    for ms_name, services in users.items():
+        if len(services) < 2:
+            continue
+        ordered = sorted(
+            services, key=lambda svc: (per_service_targets[svc][ms_name], svc)
+        )
+        priorities[ms_name] = {svc: rank for rank, svc in enumerate(ordered)}
+    return priorities

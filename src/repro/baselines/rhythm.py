@@ -1,0 +1,94 @@
+"""Rhythm baseline (Zhao et al., EuroSys'20; paper §6.1).
+
+Rhythm scores each microservice's *contribution* to end-to-end latency as
+the normalized product of its mean latency, its latency variance, and the
+correlation between its latency and the end-to-end latency, then splits the
+SLA proportionally to contribution.  Like GrandSLAm the contribution is a
+fixed statistic, so the split does not track the operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.base import stats_from_profiles, targets_from_weights
+from repro.baselines.grandslam import _priorities_from_targets
+from repro.core.model import (
+    Allocation,
+    MicroserviceProfile,
+    ServiceSpec,
+    best_effort_containers,
+)
+from repro.core.scaling import Autoscaler, apply_fcfs_shared_scaling
+
+
+@dataclass
+class Rhythm(Autoscaler):
+    """Contribution-proportional SLA splitting.
+
+    Attributes:
+        sweep_points: Resolution of the statistics sweep.
+        use_priority: Bolt-on priority scheduling at shared microservices
+            (the §6.4.2 variant; targets are not recomputed).
+    """
+
+    sweep_points: int = 40
+    use_priority: bool = False
+    interference_aware: bool = False
+    name: str = "rhythm"
+
+    def __post_init__(self) -> None:
+        if self.use_priority:
+            self.name = "rhythm+priority"
+
+    def scale(
+        self,
+        specs: Sequence[ServiceSpec],
+        profiles: Mapping[str, MicroserviceProfile],
+    ) -> Allocation:
+        allocation = Allocation()
+        per_service_targets: Dict[str, Dict[str, float]] = {}
+        for spec in specs:
+            stats = stats_from_profiles(spec, profiles, self.sweep_points)
+            raw = {
+                name: s.mean * s.variance * s.correlation
+                for name, s in stats.items()
+            }
+            weights = _normalize(raw)
+            targets = targets_from_weights(spec, weights)
+            per_service_targets[spec.name] = targets
+            allocation.targets[spec.name] = targets
+            workloads = spec.microservice_workloads()
+            for ms_name, target in targets.items():
+                needed = best_effort_containers(
+                    profiles[ms_name].model, workloads[ms_name], target
+                )
+                allocation.containers[ms_name] = max(
+                    allocation.containers.get(ms_name, 0), needed
+                )
+
+        apply_fcfs_shared_scaling(specs, profiles, per_service_targets, allocation)
+        if self.use_priority:
+            allocation.priorities = _priorities_from_targets(
+                specs, per_service_targets
+            )
+        return allocation
+
+
+def _normalize(raw: Mapping[str, float]) -> Dict[str, float]:
+    """Scale contributions to [epsilon, 1] so no microservice gets zero."""
+    values = np.array(list(raw.values()), dtype=float)
+    top = float(values.max()) if len(values) else 0.0
+    if top <= 0:
+        return {name: 1.0 for name in raw}
+    # Every microservice needs some latency budget: Rhythm deploys all
+    # components, so contributions are floored well above zero (otherwise
+    # negligible-contribution microservices would be assigned unmeetable
+    # targets and dominate the container count).
+    floor = 0.1
+    return {
+        name: max(value / top, floor) for name, value in raw.items()
+    }

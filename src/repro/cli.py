@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
+
+* ``scale`` — run a scheme on a benchmark application at a given workload
+  and SLA, print targets/priorities/containers (the artifact's
+  ``latency-target-computation.sh`` + ``priority-scheduling.sh``).
+* ``simulate`` — additionally replay the allocation on the cluster
+  simulator and report tail latency and violations (``static-workload.sh``).
+* ``compare`` — the static (workload × SLA) sweep across all schemes
+  (``theoretical-resource.sh``).
+* ``trace-sim`` — the Taobao-scale synthetic evaluation (§6.5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import Firm, GrandSLAm, Rhythm
+from repro.core import ErmsScaler
+from repro.experiments import (
+    evaluate_allocation,
+    format_table,
+    run_static_sweep,
+    run_trace_simulation,
+)
+from repro.workloads import (
+    generate_taobao,
+    hotel_reservation,
+    media_service,
+    social_network,
+)
+
+APPLICATIONS = {
+    "social-network": social_network,
+    "media-service": media_service,
+    "hotel-reservation": hotel_reservation,
+}
+
+
+def _make_scheme(name: str):
+    schemes = {
+        "erms": ErmsScaler,
+        "erms-fcfs": lambda: ErmsScaler(use_priority=False),
+        "grandslam": GrandSLAm,
+        "rhythm": Rhythm,
+        "firm": Firm,
+    }
+    if name not in schemes:
+        raise SystemExit(
+            f"unknown scheme {name!r}; choose from {sorted(schemes)}"
+        )
+    return schemes[name]()
+
+
+def _app(name: str):
+    if name not in APPLICATIONS:
+        raise SystemExit(
+            f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
+        )
+    return APPLICATIONS[name]()
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    profiles = app.analytic_profiles(args.interference)
+    specs = app.with_workloads(
+        {s.name: args.workload for s in app.services}, sla=args.sla
+    )
+    allocation = scheme.scale(specs, profiles)
+
+    rows = [
+        {"microservice": name, "containers": count}
+        for name, count in sorted(allocation.containers.items())
+    ]
+    print(format_table(rows, f"{scheme.name} allocation ({app.name})"))
+    print(f"\nTotal containers: {allocation.total_containers()}")
+    if allocation.priorities:
+        print("\nPriorities (rank 0 first):")
+        for ms_name, ranks in allocation.priorities.items():
+            print(f"  {ms_name}: {ranks}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    profiles = app.analytic_profiles(args.interference)
+    specs = app.with_workloads(
+        {s.name: args.workload for s in app.services}, sla=args.sla
+    )
+    allocation = scheme.scale(specs, profiles)
+    multipliers = None
+    if args.interference != 1.0:
+        multipliers = {
+            name: [args.interference] * count
+            for name, count in allocation.containers.items()
+        }
+    result = evaluate_allocation(
+        specs,
+        app.simulated,
+        allocation,
+        duration_min=args.duration,
+        warmup_min=min(0.5, args.duration / 3),
+        seed=args.seed,
+        container_multipliers=multipliers,
+    )
+    rows = []
+    for spec in specs:
+        if result.completed.get(spec.name, 0) == 0:
+            continue
+        rows.append(
+            {
+                "service": spec.name,
+                "completed": result.completed[spec.name],
+                "p95_ms": result.tail_latency(spec.name),
+                "violation": result.sla_violation_rate(spec.name, spec.sla),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            f"{scheme.name} on {app.name}: "
+            f"{allocation.total_containers()} containers",
+            "{:.3f}",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    app = _app(args.app)
+    schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm(), Firm()]
+    sweep = run_static_sweep(
+        app,
+        schemes,
+        workloads=args.workloads,
+        slas=args.slas,
+        interference_multiplier=args.interference,
+    )
+    rows = [
+        {"scheme": scheme, "avg_containers": sweep.average_containers(scheme)}
+        for scheme in sweep.schemes()
+    ]
+    print(format_table(rows, f"Static sweep on {app.name}"))
+    return 0
+
+
+def cmd_trace_sim(args: argparse.Namespace) -> int:
+    workload = generate_taobao(n_services=args.services, seed=args.seed)
+    schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm()]
+    result = run_trace_simulation(workload, schemes)
+    rows = [
+        {
+            "scheme": scheme,
+            "total_containers": result.totals[scheme],
+            "avg_per_service": result.average_per_service(scheme),
+        }
+        for scheme in result.totals
+    ]
+    print(format_table(rows, f"Taobao-scale simulation ({args.services} services)"))
+    print(
+        f"\nErms vs GrandSLAm: "
+        f"{result.reduction_factor('erms', 'grandslam'):.2f}x fewer containers"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Erms (ASPLOS'23) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--app", default="social-network",
+                       help="benchmark application (default: social-network)")
+        p.add_argument("--scheme", default="erms",
+                       help="erms | erms-fcfs | grandslam | rhythm | firm")
+        p.add_argument("--workload", type=float, default=20_000.0,
+                       help="requests/minute per service")
+        p.add_argument("--sla", type=float, default=200.0, help="SLA in ms")
+        p.add_argument("--interference", type=float, default=1.0,
+                       help="host colocation multiplier (>= 1)")
+
+    p_scale = sub.add_parser("scale", help="compute an allocation")
+    add_common(p_scale)
+    p_scale.set_defaults(func=cmd_scale)
+
+    p_sim = sub.add_parser("simulate", help="allocate, then replay on the simulator")
+    add_common(p_sim)
+    p_sim.add_argument("--duration", type=float, default=1.5,
+                       help="simulated minutes")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="static sweep across all schemes")
+    p_cmp.add_argument("--app", default="social-network")
+    p_cmp.add_argument("--workloads", type=float, nargs="+",
+                       default=[5_000.0, 20_000.0, 60_000.0])
+    p_cmp.add_argument("--slas", type=float, nargs="+", default=[150.0, 250.0])
+    p_cmp.add_argument("--interference", type=float, default=1.0)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_trace = sub.add_parser("trace-sim", help="Taobao-scale synthetic evaluation")
+    p_trace.add_argument("--services", type=int, default=60)
+    p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.set_defaults(func=cmd_trace_sim)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""The complete Erms control loop (paper Fig. 6, end to end).
+
+``ErmsController`` wires every module together the way the deployed
+system runs:
+
+1. observe per-service workloads and cluster-average utilization;
+2. condition the latency profiles on the measured interference (§5.3.1);
+3. run Online Scaling (merge → targets → priorities) to get an
+   allocation;
+4. declare the allocation to the (mock) Kubernetes API and reconcile —
+   pods are created/terminated and placed interference-aware (§5.4);
+5. install the tc-style network priority bands on the pods of shared
+   microservices (§5.5).
+
+Each :meth:`reconcile` call is one control period; :meth:`tick` advances
+pod startups between periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.model import Allocation, MicroserviceProfile, ServiceSpec
+from repro.core.provisioning import Cluster, InterferenceAwareProvisioner, Provisioner
+from repro.core.scaling import Autoscaler, ErmsScaler
+
+#: Profiles may be a fixed mapping or a function of measured (cpu, mem)
+#: utilization — the latter is how interference awareness enters the loop.
+ProfileSource = Union[
+    Mapping[str, MicroserviceProfile],
+    Callable[[float, float], Mapping[str, MicroserviceProfile]],
+]
+
+
+@dataclass
+class ControllerReport:
+    """What one control period decided and did."""
+
+    allocation: Allocation
+    pod_deltas: Dict[str, int] = field(default_factory=dict)
+    traffic_classes_installed: int = 0
+    cluster_imbalance: float = 0.0
+
+    def total_containers(self) -> int:
+        return self.allocation.total_containers()
+
+
+class ErmsController:
+    """Periodic cluster-wide resource manager (the whole paper system).
+
+    Args:
+        specs: The managed services (graphs + SLAs; workloads are supplied
+            per reconcile call).
+        cluster: Host inventory.
+        scaler: Scaling scheme; full Erms by default.
+        provisioner: Placement policy; interference-aware by default.
+        profile_source: Fixed profiles, or a ``(cpu, mem) -> profiles``
+            callable re-conditioned each period.
+        startup_seconds: Pod cold-start time.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ServiceSpec],
+        cluster: Cluster,
+        profile_source: ProfileSource,
+        scaler: Optional[Autoscaler] = None,
+        provisioner: Optional[Provisioner] = None,
+        startup_seconds: float = 3.0,
+    ):
+        from repro.deployment import (
+            DeploymentController,
+            MockKubeApi,
+            NetworkPriorityConfigurator,
+        )
+
+        self.specs = list(specs)
+        self.cluster = cluster
+        self.profile_source = profile_source
+        self.scaler = scaler if scaler is not None else ErmsScaler()
+        self.provisioner = (
+            provisioner if provisioner is not None else InterferenceAwareProvisioner()
+        )
+        self.api = MockKubeApi()
+        self.deployer = DeploymentController(
+            api=self.api,
+            cluster=self.cluster,
+            provisioner=self.provisioner,
+            startup_seconds=startup_seconds,
+        )
+        self.configurator = NetworkPriorityConfigurator()
+        self.history: List[ControllerReport] = []
+
+    # ------------------------------------------------------------------
+    def _profiles(
+        self, utilization: Tuple[float, float]
+    ) -> Mapping[str, MicroserviceProfile]:
+        if callable(self.profile_source):
+            return self.profile_source(*utilization)
+        return self.profile_source
+
+    def reconcile(
+        self,
+        workloads: Mapping[str, float],
+        utilization: Optional[Tuple[float, float]] = None,
+    ) -> ControllerReport:
+        """One control period: scale, deploy, and configure priorities.
+
+        Args:
+            workloads: Observed request rate per service (req/min).
+            utilization: Measured cluster-average (cpu, mem) utilization;
+                defaults to the cluster's own current mean.
+        """
+        if utilization is None:
+            utilization = self.cluster.mean_utilization()
+        profiles = self._profiles(utilization)
+
+        planning_specs = self.scaler.with_workloads(self.specs, workloads)
+        allocation = self.scaler.scale(planning_specs, profiles)
+
+        container_specs = {
+            name: profile.container for name, profile in profiles.items()
+        }
+        self.deployer.apply_allocation(allocation.containers, container_specs)
+        deltas = self.deployer.reconcile()
+        installed = self.configurator.install(self.api, allocation)
+
+        report = ControllerReport(
+            allocation=allocation,
+            pod_deltas=deltas,
+            traffic_classes_installed=installed,
+            cluster_imbalance=self.cluster.imbalance(),
+        )
+        self.history.append(report)
+        return report
+
+    def tick(self, seconds: float) -> int:
+        """Advance time between control periods; returns pods started."""
+        return self.deployer.tick(seconds)
+
+    # ------------------------------------------------------------------
+    def serving_containers(self) -> Dict[str, int]:
+        """RUNNING pods per microservice (what actually serves traffic)."""
+        return {
+            name: self.api.serving_replicas(name)
+            for name in self.api.deployments
+        }
+
+    def total_pods(self) -> int:
+        return sum(
+            self.api.active_replicas(name) for name in self.api.deployments
+        )

@@ -1,0 +1,205 @@
+"""Optimal latency-target computation (paper §4.2, §5.3.1).
+
+Given one service's dependency graph, the profiled piecewise latency models,
+the current workload and the SLA, this module computes:
+
+* a latency target per microservice — the maximum time it may take to handle
+  a request so the end-to-end SLA holds with minimum total resource usage
+  (the KKT closed form, paper Eq. 5, applied through the merge tree);
+* the number of containers needed to hit each target.
+
+Interval selection follows §5.3.1: the first pass assumes every microservice
+operates in the high-load segment (cheapest in resources).  Any microservice
+whose allocated target falls below its cut-off latency must actually operate
+in the low-load segment; its parameters are swapped and targets are
+recomputed once.  Each graph is therefore processed at most twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.merge import (
+    distribute_targets,
+    leaf_params_from_profiles,
+    merge_graph,
+)
+from repro.core.model import (
+    InfeasibleSLAError,
+    LatencySegment,
+    MicroserviceProfile,
+    ServiceSpec,
+    best_effort_containers,
+)
+
+
+@dataclass
+class ServiceTargets:
+    """Latency targets and container counts for one service.
+
+    Attributes:
+        service: Service name.
+        targets: Final latency target (ms) per microservice; when a
+            microservice appears at several call sites the minimum applies.
+        containers: Containers required per microservice to meet its target
+            under this service's (possibly priority-modified) workload.
+        segments: The latency segment each microservice was scaled with.
+        workloads: The workload (req/min) used for each microservice —
+            the service's own demand unless an override was supplied.
+        merged_intercept: Intercept of the fully merged graph; the SLA must
+            exceed it for feasibility.
+        passes: Number of Eq. 5 passes performed (1 or 2, per §5.3.1).
+    """
+
+    service: str
+    targets: Dict[str, float] = field(default_factory=dict)
+    containers: Dict[str, int] = field(default_factory=dict)
+    segments: Dict[str, LatencySegment] = field(default_factory=dict)
+    workloads: Dict[str, float] = field(default_factory=dict)
+    merged_intercept: float = 0.0
+    passes: int = 1
+
+
+def compute_service_targets(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    workload_overrides: Optional[Mapping[str, float]] = None,
+    max_passes: int = 8,
+) -> ServiceTargets:
+    """Allocate optimal latency targets for every microservice of a service.
+
+    Args:
+        spec: The service (graph + workload + SLA).
+        profiles: Piecewise latency profiles keyed by microservice name.
+        workload_overrides: Optional per-microservice workload replacing the
+            service's own demand — used by priority scheduling, where a
+            low-priority service sees the summed workload of all higher-
+            priority services at a shared microservice (paper §5.3.2).
+
+    Returns:
+        A :class:`ServiceTargets` with targets, container counts, the
+        segment used per microservice, and bookkeeping for diagnostics.
+
+    Raises:
+        InfeasibleSLAError: If the SLA is not larger than the merged graph's
+            intercept (the latency floor no resource level can beat).
+        KeyError: If a microservice in the graph has no profile.
+    """
+    graph = spec.graph
+    own_workloads = spec.microservice_workloads()
+    effective: Dict[str, float] = dict(own_workloads)
+    if workload_overrides:
+        for name, value in workload_overrides.items():
+            if name in effective:
+                effective[name] = value
+
+    # Initial pass: high-load segment for everyone (§5.3.1).
+    segments: Dict[str, LatencySegment] = {
+        name: profiles[name].model.high for name in graph.microservices()
+    }
+
+    # The paper recomputes once after interval switching (two passes),
+    # which suffices for continuous fits.  Discontinuous fits may need a
+    # few more rounds; switching is one-way (high -> low), so the loop is
+    # monotone and terminates within the number of microservices.
+    result = ServiceTargets(service=spec.name)
+    for pass_index in range(max(max_passes, 1)):
+        targets = _allocate(spec, profiles, segments, effective, result)
+        used_segments = dict(segments)
+        result.passes = pass_index + 1
+        if pass_index == max_passes - 1:
+            break
+        switched = False
+        for name, target in targets.items():
+            model = profiles[name].model
+            if segments[name] is model.high and target < model.latency_at_cutoff():
+                segments[name] = model.low
+                switched = True
+        if not switched:
+            break
+
+    result.targets = targets
+    result.segments = used_segments
+    result.workloads = dict(effective)
+    # Convert targets to containers with the segment consistent with each
+    # *final* target.  After a §5.3.1 interval switch the recomputed target
+    # can land back above the cut-off latency; blindly using the switched
+    # segment would then provision containers whose per-container load sits
+    # far beyond the cut-off, i.e. outside that segment's validity.
+    result.containers = {
+        name: best_effort_containers(
+            profiles[name].model, effective[name], target
+        )
+        for name, target in targets.items()
+    }
+    return result
+
+
+def _allocate(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    segments: Mapping[str, LatencySegment],
+    effective_workloads: Mapping[str, float],
+    result: ServiceTargets,
+) -> Dict[str, float]:
+    """One merge + Eq. 5 + unmerge pass; returns per-microservice targets."""
+    graph = spec.graph
+    own_workloads = spec.microservice_workloads()
+
+    # Fold any workload override into the effective slope so every call
+    # site can be treated as handling the service arrival rate.
+    scaled_segments: Dict[str, LatencySegment] = {}
+    for name in graph.microservices():
+        segment = segments[name]
+        ratio = 1.0
+        own = own_workloads[name]
+        if own > 0 and effective_workloads[name] != own:
+            ratio = effective_workloads[name] / own
+        scaled_segments[name] = LatencySegment(
+            slope=segment.slope * ratio, intercept=segment.intercept
+        )
+
+    leaf_params = leaf_params_from_profiles(graph, profiles, scaled_segments)
+    merged = merge_graph(graph, leaf_params)
+    result.merged_intercept = merged.params.intercept
+    if spec.sla <= merged.params.intercept:
+        raise InfeasibleSLAError(
+            f"service {spec.name!r}: SLA {spec.sla:.3f}ms does not exceed the "
+            f"graph latency floor {merged.params.intercept:.3f}ms"
+        )
+
+    call_targets = distribute_targets(merged, spec.sla)
+
+    targets: Dict[str, float] = {}
+    for node in graph.nodes():
+        target = call_targets[id(node)]
+        current = targets.get(node.microservice)
+        if current is None or target < current:
+            targets[node.microservice] = target
+    return targets
+
+
+def predicted_end_to_end(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    containers: Mapping[str, int],
+    workload_overrides: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Model-predicted end-to-end tail latency under a container allocation.
+
+    Evaluates each microservice's piecewise model at its per-container load
+    and folds the per-microservice latencies through the graph structure.
+    Used by analytic experiments and by baselines for feasibility checks.
+    """
+    workloads = spec.microservice_workloads()
+    if workload_overrides:
+        workloads = dict(workloads)
+        for name, value in workload_overrides.items():
+            if name in workloads:
+                workloads[name] = value
+    latencies = {}
+    for name, load in workloads.items():
+        count = max(1, containers.get(name, 1))
+        latencies[name] = profiles[name].model.latency(load / count)
+    return spec.graph.end_to_end_latency(latencies)

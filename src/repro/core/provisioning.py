@@ -1,0 +1,281 @@
+"""Interference-aware resource provisioning (paper §5.4).
+
+Containers of one microservice may land on hosts with very different
+background load; the resulting performance imbalance causes SLA violations.
+Erms therefore places (and releases) containers so as to minimize *resource
+unbalance*: the summed absolute deviation of each host's utilization from
+the cluster-wide mean.  Solving this exactly is a non-linear integer program
+(NP-hard), so Erms follows the POP technique — statically partition the
+hosts into equal groups, split the work across groups, and solve each small
+subproblem greedily.
+
+Two provisioners are exposed:
+
+* :class:`InterferenceAwareProvisioner` — the Erms policy.  Host utilization
+  includes background (batch-job) load, so interference is balanced out.
+* :class:`KubernetesDefaultProvisioner` — the baseline of §6.4.3: spreads by
+  container *requests* only, blind to background interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.model import ContainerSpec, MicroserviceProfile
+
+
+@dataclass
+class Host:
+    """One physical host: capacity, background load, and placed containers.
+
+    Background load models colocated batch applications (paper §2.2's
+    interference source); it contributes to utilization but is not under
+    the provisioner's control.
+    """
+
+    host_id: str
+    cpu_capacity: float = 32.0
+    memory_capacity_mb: float = 64_000.0
+    background_cpu: float = 0.0
+    background_memory_mb: float = 0.0
+    containers: Dict[str, int] = field(default_factory=dict)
+
+    def place(self, microservice: str, count: int = 1) -> None:
+        """Place ``count`` containers of ``microservice`` on this host."""
+        self.containers[microservice] = self.containers.get(microservice, 0) + count
+
+    def release(self, microservice: str, count: int = 1) -> None:
+        """Remove ``count`` containers; raises if none are present."""
+        current = self.containers.get(microservice, 0)
+        if current < count:
+            raise ValueError(
+                f"host {self.host_id}: cannot release {count} containers of "
+                f"{microservice!r}, only {current} placed"
+            )
+        remaining = current - count
+        if remaining:
+            self.containers[microservice] = remaining
+        else:
+            del self.containers[microservice]
+
+    def container_count(self, microservice: Optional[str] = None) -> int:
+        if microservice is None:
+            return sum(self.containers.values())
+        return self.containers.get(microservice, 0)
+
+    def cpu_used(self, sizes: Mapping[str, ContainerSpec]) -> float:
+        return self.background_cpu + sum(
+            sizes[name].cpu * count for name, count in self.containers.items()
+        )
+
+    def memory_used(self, sizes: Mapping[str, ContainerSpec]) -> float:
+        return self.background_memory_mb + sum(
+            sizes[name].memory_mb * count
+            for name, count in self.containers.items()
+        )
+
+    def cpu_utilization(self, sizes: Mapping[str, ContainerSpec]) -> float:
+        return self.cpu_used(sizes) / self.cpu_capacity
+
+    def memory_utilization(self, sizes: Mapping[str, ContainerSpec]) -> float:
+        return self.memory_used(sizes) / self.memory_capacity_mb
+
+
+@dataclass
+class Cluster:
+    """A set of hosts plus per-microservice container sizes."""
+
+    hosts: List[Host]
+    sizes: Dict[str, ContainerSpec] = field(default_factory=dict)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        host_count: int,
+        cpu_capacity: float = 32.0,
+        memory_capacity_mb: float = 64_000.0,
+    ) -> "Cluster":
+        """Build the paper's testbed shape: N identical two-socket hosts."""
+        hosts = [
+            Host(
+                host_id=f"host-{i:03d}",
+                cpu_capacity=cpu_capacity,
+                memory_capacity_mb=memory_capacity_mb,
+            )
+            for i in range(host_count)
+        ]
+        return cls(hosts=hosts)
+
+    def register(self, profiles: Mapping[str, MicroserviceProfile]) -> None:
+        """Record the container sizes of the given microservices."""
+        for name, profile in profiles.items():
+            self.sizes[name] = profile.container
+
+    def placement(self) -> Dict[str, int]:
+        """Total containers per microservice across all hosts."""
+        totals: Dict[str, int] = {}
+        for host in self.hosts:
+            for name, count in host.containers.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def mean_utilization(self) -> Tuple[float, float]:
+        """Cluster-wide mean (cpu, memory) utilization."""
+        if not self.hosts:
+            return 0.0, 0.0
+        cpu = sum(h.cpu_utilization(self.sizes) for h in self.hosts)
+        mem = sum(h.memory_utilization(self.sizes) for h in self.hosts)
+        return cpu / len(self.hosts), mem / len(self.hosts)
+
+    def imbalance(self) -> float:
+        """Σ_h |util_h − mean| summed over CPU and memory (paper §5.4)."""
+        mean_cpu, mean_mem = self.mean_utilization()
+        total = 0.0
+        for host in self.hosts:
+            total += abs(host.cpu_utilization(self.sizes) - mean_cpu)
+            total += abs(host.memory_utilization(self.sizes) - mean_mem)
+        return total
+
+
+@dataclass
+class PlacementAction:
+    """One placement or release decision."""
+
+    host_id: str
+    microservice: str
+    delta: int  # +1 place, -1 release
+
+
+@dataclass
+class PlacementPlan:
+    """The actions realizing a scaling decision, in execution order."""
+
+    actions: List[PlacementAction] = field(default_factory=list)
+
+    def placements(self) -> int:
+        return sum(1 for a in self.actions if a.delta > 0)
+
+    def releases(self) -> int:
+        return sum(1 for a in self.actions if a.delta < 0)
+
+
+class Provisioner:
+    """Base class: computes deltas and delegates host choice to subclasses."""
+
+    name = "provisioner"
+
+    def apply(self, cluster: Cluster, desired: Mapping[str, int]) -> PlacementPlan:
+        """Mutate ``cluster`` so each microservice reaches its desired count."""
+        plan = PlacementPlan()
+        current = cluster.placement()
+        names = sorted(set(desired) | set(current))
+        for name in names:
+            delta = desired.get(name, 0) - current.get(name, 0)
+            if name not in cluster.sizes:
+                cluster.sizes[name] = ContainerSpec()
+            for _ in range(delta):
+                host = self.choose_placement_host(cluster, name)
+                host.place(name)
+                plan.actions.append(PlacementAction(host.host_id, name, +1))
+            for _ in range(-delta):
+                host = self.choose_release_host(cluster, name)
+                host.release(name)
+                plan.actions.append(PlacementAction(host.host_id, name, -1))
+        return plan
+
+    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
+        raise NotImplementedError
+
+    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
+        raise NotImplementedError
+
+
+class InterferenceAwareProvisioner(Provisioner):
+    """Erms' provisioning policy (paper §5.4).
+
+    Greedy imbalance minimization within POP host groups: hosts are divided
+    into ``groups`` equal partitions once; each placement considers only the
+    partition currently offering the best (lowest) utilization headroom,
+    keeping per-decision cost :math:`O(hosts / groups)` in the spirit of the
+    POP decomposition.
+    """
+
+    name = "erms-interference-aware"
+
+    def __init__(self, groups: int = 1):
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1, got {groups}")
+        self.groups = groups
+
+    def _partitions(self, cluster: Cluster) -> List[List[Host]]:
+        hosts = cluster.hosts
+        size = max(1, (len(hosts) + self.groups - 1) // self.groups)
+        return [hosts[i : i + size] for i in range(0, len(hosts), size)]
+
+    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
+        spec = cluster.sizes[microservice]
+        partitions = self._partitions(cluster)
+        group = min(
+            partitions,
+            key=lambda part: min(
+                h.cpu_utilization(cluster.sizes) + h.memory_utilization(cluster.sizes)
+                for h in part
+            ),
+        )
+        return min(group, key=lambda h: self._score_after_place(cluster, h, spec))
+
+    def _score_after_place(
+        self, cluster: Cluster, host: Host, spec: ContainerSpec
+    ) -> float:
+        cpu = (host.cpu_used(cluster.sizes) + spec.cpu) / host.cpu_capacity
+        mem = (
+            host.memory_used(cluster.sizes) + spec.memory_mb
+        ) / host.memory_capacity_mb
+        return cpu + mem
+
+    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
+        candidates = [
+            h for h in cluster.hosts if h.container_count(microservice) > 0
+        ]
+        if not candidates:
+            raise ValueError(f"no host has containers of {microservice!r}")
+        # Releasing from the most utilized host best reduces imbalance.
+        return max(
+            candidates,
+            key=lambda h: h.cpu_utilization(cluster.sizes)
+            + h.memory_utilization(cluster.sizes),
+        )
+
+
+class KubernetesDefaultProvisioner(Provisioner):
+    """K8s-default spreading: least *requested* host wins, interference-blind.
+
+    This mirrors the kube-scheduler's LeastAllocated scoring, which only
+    sees container resource requests — not the batch jobs colocated on the
+    host — and is the baseline of paper §6.4.3.
+    """
+
+    name = "k8s-default"
+
+    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
+        def requested(host: Host) -> float:
+            cpu = sum(
+                cluster.sizes[name].cpu * count
+                for name, count in host.containers.items()
+            )
+            mem = sum(
+                cluster.sizes[name].memory_mb * count
+                for name, count in host.containers.items()
+            )
+            return cpu / host.cpu_capacity + mem / host.memory_capacity_mb
+
+        return min(cluster.hosts, key=requested)
+
+    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
+        candidates = [
+            h for h in cluster.hosts if h.container_count(microservice) > 0
+        ]
+        if not candidates:
+            raise ValueError(f"no host has containers of {microservice!r}")
+        return max(candidates, key=lambda h: h.container_count(microservice))

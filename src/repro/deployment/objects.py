@@ -1,0 +1,74 @@
+"""Kubernetes-like API objects (the subset Erms touches).
+
+A *Deployment* declares how many replicas of a microservice's container
+should exist; *Pods* are the replicas, each bound to a node and moving
+through a lifecycle.  Startup is not instantaneous — the paper leans on
+this ("a container usually requires several seconds to start", §6.5.2) to
+argue scaling-decision overhead is negligible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.core.model import ContainerSpec
+
+
+class PodPhase(Enum):
+    """Pod lifecycle phases (the subset that matters for scaling)."""
+
+    PENDING = "Pending"  # accepted, not yet scheduled to a node
+    STARTING = "Starting"  # scheduled, container booting
+    RUNNING = "Running"
+    TERMINATING = "Terminating"
+
+
+_pod_counter = itertools.count()
+
+
+@dataclass
+class Pod:
+    """One container replica."""
+
+    name: str
+    microservice: str
+    spec: ContainerSpec
+    phase: PodPhase = PodPhase.PENDING
+    node: Optional[str] = None
+    #: Absolute time (seconds) at which a STARTING pod becomes RUNNING.
+    ready_at: float = 0.0
+    #: tc priority band assignments: service name -> band (0 = highest).
+    traffic_bands: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def fresh(cls, microservice: str, spec: ContainerSpec) -> "Pod":
+        return cls(
+            name=f"{microservice}-{next(_pod_counter):06d}",
+            microservice=microservice,
+            spec=spec,
+        )
+
+    def is_active(self) -> bool:
+        """Counts toward the deployment's replica total."""
+        return self.phase in (PodPhase.PENDING, PodPhase.STARTING, PodPhase.RUNNING)
+
+    def is_serving(self) -> bool:
+        return self.phase is PodPhase.RUNNING
+
+
+@dataclass
+class Deployment:
+    """Desired state for one microservice's replicas."""
+
+    microservice: str
+    replicas: int
+    spec: ContainerSpec = field(default_factory=ContainerSpec)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError(
+                f"replicas must be non-negative, got {self.replicas}"
+            )

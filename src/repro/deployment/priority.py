@@ -1,0 +1,101 @@
+"""tc-style network priority configuration (paper §5.5).
+
+Erms enforces its scheduling priorities in each container's network layer:
+a ``pfifo_fast``-like multi-band queueing discipline is bound to a virtual
+interface attached to the container, and each incoming flow (one per
+calling service) is tagged with a band.  Lower band = dequeued first.
+
+This module models that plumbing: given an
+:class:`~repro.core.model.Allocation` carrying the per-shared-microservice
+service ranks, it computes the per-pod band assignments and "installs"
+them on the pods of a :class:`~repro.deployment.api.MockKubeApi`.  The
+cluster simulator's :class:`~repro.simulator.scheduler.PriorityQueuePolicy`
+is the behavioural counterpart; this layer is the control-plane side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.core.model import Allocation
+from repro.deployment.api import MockKubeApi
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One flow's classification on one pod."""
+
+    pod: str
+    service: str
+    band: int  # 0 = highest priority
+
+
+@dataclass
+class NetworkPriorityConfigurator:
+    """Computes and installs per-pod traffic bands.
+
+    Attributes:
+        bands: Number of hardware-ish priority bands available
+            (pfifo_fast has 3); ranks beyond the last band share it.
+    """
+
+    bands: int = 3
+    installed: List[TrafficClass] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bands < 1:
+            raise ValueError(f"bands must be >= 1, got {self.bands}")
+
+    def plan(self, allocation: Allocation) -> Dict[str, Dict[str, int]]:
+        """Band per (shared microservice, service) from priority ranks.
+
+        Ranks map to bands directly, clamped to the band count; services
+        not present at a microservice are untagged (default band applies).
+        """
+        plan: Dict[str, Dict[str, int]] = {}
+        for microservice, ranks in allocation.priorities.items():
+            plan[microservice] = {
+                service: min(rank, self.bands - 1)
+                for service, rank in ranks.items()
+            }
+        return plan
+
+    def install(self, api: MockKubeApi, allocation: Allocation) -> int:
+        """Write band assignments onto every active pod; returns count.
+
+        Idempotent: re-installing replaces each pod's assignments for the
+        planned microservices.
+        """
+        plan = self.plan(allocation)
+        installed = 0
+        self.installed = []
+        for microservice, assignment in plan.items():
+            for pod in api.pods_of(microservice):
+                pod.traffic_bands = dict(assignment)
+                for service, band in assignment.items():
+                    self.installed.append(
+                        TrafficClass(pod=pod.name, service=service, band=band)
+                    )
+                    installed += 1
+        return installed
+
+    def bands_for(self, api: MockKubeApi, microservice: str) -> Mapping[str, int]:
+        """The (consistent) band assignment across a microservice's pods.
+
+        Raises if pods disagree — a misconfiguration the real system
+        would surface as unexplainable latency differences.
+        """
+        assignments = [
+            pod.traffic_bands for pod in api.pods_of(microservice)
+        ]
+        if not assignments:
+            return {}
+        first = assignments[0]
+        for other in assignments[1:]:
+            if other != first:
+                raise RuntimeError(
+                    f"inconsistent traffic bands across pods of "
+                    f"{microservice!r}"
+                )
+        return first

@@ -1,0 +1,161 @@
+"""Shared experiment plumbing.
+
+Connects the pieces the way Erms' deployment does (paper §3): the cluster
+simulator is the testbed, its traces are profiled into piecewise models,
+scalers consume the models, and their allocations are evaluated back on
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import Allocation, MicroserviceProfile, ServiceSpec
+from repro.graphs import DependencyGraph, call
+from repro.profiling.piecewise import fit_piecewise
+from repro.simulator.simulation import (
+    ClusterSimulator,
+    RateSpec,
+    SimulatedMicroservice,
+    SimulationConfig,
+    SimulationResult,
+)
+
+
+def evaluate_allocation(
+    specs: Sequence[ServiceSpec],
+    simulated: Mapping[str, SimulatedMicroservice],
+    allocation: Allocation,
+    rates: Optional[Mapping[str, RateSpec]] = None,
+    duration_min: float = 2.0,
+    warmup_min: float = 0.5,
+    seed: int = 0,
+    delta: float = 0.05,
+    container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
+) -> SimulationResult:
+    """Run one allocation on the simulator and return the measurements.
+
+    Priority scheduling is enabled automatically when the allocation
+    carries priorities (i.e. was produced by full Erms).
+    """
+    scheduling = "priority" if allocation.priorities else "fcfs"
+    config = SimulationConfig(
+        duration_min=duration_min,
+        warmup_min=warmup_min,
+        seed=seed,
+        delta=delta,
+        scheduling=scheduling,
+        record_own_latency=False,
+    )
+    if rates is None:
+        rates = {spec.name: spec.workload for spec in specs}
+    simulator = ClusterSimulator(
+        specs,
+        simulated,
+        containers=allocation.containers,
+        rates=rates,
+        config=config,
+        priorities=allocation.priorities,
+        container_multipliers=container_multipliers,
+    )
+    return simulator.run()
+
+
+def simulate_profiling_sweep(
+    microservice: SimulatedMicroservice,
+    loads: Sequence[float],
+    interference_multiplier: float = 1.0,
+    duration_min: float = 1.5,
+    warmup_min: float = 0.5,
+    seed: int = 0,
+    percentile: float = 95.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Measure one microservice's P95 latency across per-container loads.
+
+    This is the offline-profiling data collection of §5.2 against the
+    simulator: a single container is driven at each load level and its
+    tail latency recorded.
+
+    Returns:
+        (loads, p95_latencies) arrays.
+    """
+    graph = DependencyGraph("probe", call(microservice.name))
+    spec = ServiceSpec("probe", graph, workload=0.0, sla=1.0e9)
+    latencies = []
+    for index, load in enumerate(loads):
+        simulator = ClusterSimulator(
+            [spec],
+            {microservice.name: microservice},
+            containers={microservice.name: 1},
+            rates={"probe": float(load)},
+            config=SimulationConfig(
+                duration_min=duration_min,
+                warmup_min=warmup_min,
+                seed=seed + index,
+            ),
+            container_multipliers={
+                microservice.name: [interference_multiplier]
+            },
+        )
+        result = simulator.run()
+        latencies.append(result.tail_latency("probe", percentile))
+    return np.asarray(loads, dtype=float), np.asarray(latencies)
+
+
+def fit_profiles_from_simulation(
+    simulated: Mapping[str, SimulatedMicroservice],
+    resource_demands: Optional[Mapping[str, float]] = None,
+    sweep_points: int = 10,
+    max_load_fraction: float = 0.95,
+    interference_multiplier: float = 1.0,
+    duration_min: float = 1.0,
+    warmup_min: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, MicroserviceProfile]:
+    """Profile every microservice by sweeping the simulator (§5.2).
+
+    The per-container load sweep spans up to ``max_load_fraction`` of each
+    microservice's theoretical capacity ``threads / base_service_ms``; the
+    measured P95 curve is fitted piecewise.  This produces *measured*
+    profiles — the controller's belief is then genuinely learned from the
+    substrate it controls, as in the real system.
+    """
+    profiles: Dict[str, MicroserviceProfile] = {}
+    for name, sim in simulated.items():
+        capacity = sim.threads / (
+            sim.base_service_ms * interference_multiplier
+        ) * 60_000.0
+        loads = np.linspace(
+            0.1 * capacity, max_load_fraction * capacity, sweep_points
+        )
+        if warmup_min is None:
+            warmup_min = duration_min / 3.0
+        xs, ys = simulate_profiling_sweep(
+            sim,
+            loads,
+            interference_multiplier=interference_multiplier,
+            duration_min=duration_min,
+            warmup_min=warmup_min,
+            seed=seed,
+        )
+        fit = fit_piecewise(xs, ys)
+        demand = 1.0
+        if resource_demands and name in resource_demands:
+            demand = resource_demands[name]
+        profiles[name] = MicroserviceProfile(
+            name=name, model=fit.model, resource_demand=demand
+        )
+    return profiles
+
+
+@dataclass(frozen=True)
+class SchemeOutcome:
+    """One scheme's results in a comparison experiment."""
+
+    scheme: str
+    containers: int
+    violation_rate: Optional[float] = None
+    p95_latency: Optional[float] = None

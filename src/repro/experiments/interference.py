@@ -1,0 +1,154 @@
+"""Interference-aware provisioning experiment (paper §6.4.3, Fig. 15).
+
+Compares Erms' interference-aware placement against the Kubernetes default
+on a cluster where some hosts carry heavy background (batch) load:
+
+* place the same logical allocation with each provisioner;
+* derive every container's service-time multiplier from its host's
+  utilization (the simulator's interference model);
+* replay on the simulator, growing the allocation until the SLA holds —
+  the interference-blind placement needs more containers (Fig. 15a) and,
+  at equal containers, delivers worse latency (Fig. 15b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import Allocation, MicroserviceProfile
+from repro.core.provisioning import (
+    Cluster,
+    Provisioner,
+)
+from repro.core.scaling import Autoscaler
+from repro.experiments.harness import evaluate_allocation
+from repro.simulator.interference import InterferenceModel
+from repro.workloads.deathstarbench import Application
+
+
+def multipliers_from_placement(
+    cluster: Cluster, model: InterferenceModel
+) -> Dict[str, List[float]]:
+    """Per-container service-time multipliers implied by a placement."""
+    multipliers: Dict[str, List[float]] = {}
+    for host in cluster.hosts:
+        factor = model.host_multiplier(cluster, host)
+        for name, count in host.containers.items():
+            multipliers.setdefault(name, []).extend([factor] * count)
+    return multipliers
+
+
+def _place(
+    provisioner: Provisioner,
+    hosts: int,
+    background: Sequence[Tuple[float, float]],
+    containers: Mapping[str, int],
+    profiles: Mapping[str, MicroserviceProfile],
+) -> Cluster:
+    cluster = Cluster.homogeneous(hosts)
+    for index, (cpu, mem) in enumerate(background):
+        cluster.hosts[index % hosts].background_cpu += cpu
+        cluster.hosts[index % hosts].background_memory_mb += mem
+    cluster.register(dict(profiles))
+    provisioner.apply(cluster, dict(containers))
+    return cluster
+
+
+@dataclass
+class InterferenceResult:
+    """Outcome per provisioner."""
+
+    containers_needed: Dict[str, int] = field(default_factory=dict)
+    p95_equal_containers: Dict[str, float] = field(default_factory=dict)
+    imbalance: Dict[str, float] = field(default_factory=dict)
+    rows: List[Dict] = field(default_factory=list)
+
+
+def run_interference_comparison(
+    app: Application,
+    scaler: Autoscaler,
+    provisioners: Sequence[Provisioner],
+    workload: float = 20_000.0,
+    sla: float = 250.0,
+    hosts: int = 8,
+    background: Sequence[Tuple[float, float]] = ((24.0, 48_000.0),) * 3,
+    interference: Optional[InterferenceModel] = None,
+    max_growth_rounds: int = 6,
+    growth_factor: float = 1.3,
+    violation_threshold: float = 0.05,
+    duration_min: float = 1.0,
+    seed: int = 0,
+    profiles: Optional[Mapping[str, MicroserviceProfile]] = None,
+) -> InterferenceResult:
+    """Find the containers each provisioner needs to satisfy the SLA.
+
+    Both provisioners start from the same scheme allocation; whenever the
+    simulated violation rate exceeds ``violation_threshold`` every
+    microservice's count grows by ``growth_factor`` and the placement is
+    redone — mirroring an operator scaling until the SLA holds.
+    """
+    if interference is None:
+        interference = InterferenceModel()
+    if profiles is None:
+        profiles = app.analytic_profiles()
+    specs = app.with_workloads(
+        {s.name: workload for s in app.services}, sla=sla
+    )
+    base_allocation = scaler.scale(specs, profiles)
+
+    result = InterferenceResult()
+    for provisioner in provisioners:
+        counts = dict(base_allocation.containers)
+        final_p95 = float("nan")
+        for round_index in range(max_growth_rounds):
+            cluster = _place(
+                provisioner, hosts, background, counts, profiles
+            )
+            multipliers = multipliers_from_placement(cluster, interference)
+            allocation = Allocation(
+                containers=dict(counts),
+                priorities=base_allocation.priorities,
+            )
+            sim = evaluate_allocation(
+                specs,
+                app.simulated,
+                allocation,
+                duration_min=duration_min,
+                warmup_min=min(0.3, duration_min / 3),
+                seed=seed + round_index,
+                container_multipliers=multipliers,
+            )
+            violations, p95s = [], []
+            for spec in specs:
+                if sim.completed.get(spec.name, 0) == 0:
+                    violations.append(1.0)
+                    continue
+                violations.append(sim.sla_violation_rate(spec.name, spec.sla))
+                p95s.append(sim.tail_latency(spec.name))
+            violation = float(np.mean(violations)) if violations else 0.0
+            final_p95 = float(np.mean(p95s)) if p95s else float("nan")
+            if round_index == 0:
+                # Equal-container comparison (Fig. 15b) uses the first round.
+                result.p95_equal_containers[provisioner.name] = final_p95
+                result.imbalance[provisioner.name] = cluster.imbalance()
+            if violation <= violation_threshold:
+                break
+            counts = {
+                name: max(count + 1, math.ceil(count * growth_factor))
+                for name, count in counts.items()
+            }
+        total = sum(counts.values())
+        result.containers_needed[provisioner.name] = total
+        result.rows.append(
+            {
+                "provisioner": provisioner.name,
+                "containers": total,
+                "p95_equal": result.p95_equal_containers[provisioner.name],
+                "imbalance": result.imbalance[provisioner.name],
+            }
+        )
+    return result

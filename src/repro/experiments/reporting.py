@@ -1,0 +1,51 @@
+"""Plain-text table formatting for benchmark output.
+
+The paper's figures become printed tables in this reproduction; every
+benchmark prints the rows it would plot, so `pytest benchmarks/ -s` shows
+the paper-style numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Args:
+        rows: Sequence of dicts with identical keys (column order follows
+            the first row's key order).
+        title: Optional heading printed above the table.
+        float_format: Format applied to float cells.
+
+    Returns:
+        The rendered table as one string.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+
+    def _cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Static-workload comparison (paper §6.3.1, Figs. 11-12, and Fig. 14).
+
+Sweeps (workload, SLA) settings over a benchmark application, scales with
+every scheme, and (optionally) replays each allocation on the cluster
+simulator to measure end-to-end tail latency and SLA violation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import InfeasibleSLAError, MicroserviceProfile
+from repro.core.scaling import Autoscaler
+from repro.experiments.harness import evaluate_allocation
+from repro.workloads.deathstarbench import Application
+
+
+@dataclass
+class StaticSweepResult:
+    """Rows of the static sweep: one per (workload, sla, scheme)."""
+
+    rows: List[Dict] = field(default_factory=list)
+
+    def schemes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row["scheme"], None)
+        return list(seen)
+
+    def container_distribution(self, scheme: str) -> np.ndarray:
+        """All container totals of one scheme (the Fig. 11a CDF input)."""
+        return np.array(
+            [row["containers"] for row in self.rows if row["scheme"] == scheme]
+        )
+
+    def average_containers(self, scheme: str) -> float:
+        values = self.container_distribution(scheme)
+        if len(values) == 0:
+            raise ValueError(f"no rows for scheme {scheme!r}")
+        return float(np.mean(values))
+
+    def average_violation(self, scheme: str) -> float:
+        values = [
+            row["violation"]
+            for row in self.rows
+            if row["scheme"] == scheme and row.get("violation") is not None
+        ]
+        if not values:
+            raise ValueError(f"no simulated rows for scheme {scheme!r}")
+        return float(np.mean(values))
+
+    def average_p95(self, scheme: str) -> float:
+        values = [
+            row["p95"]
+            for row in self.rows
+            if row["scheme"] == scheme and row.get("p95") is not None
+        ]
+        if not values:
+            raise ValueError(f"no simulated rows for scheme {scheme!r}")
+        return float(np.mean(values))
+
+    def savings_vs(self, scheme: str, baseline: str) -> float:
+        """Fractional container savings of ``scheme`` against ``baseline``."""
+        ours = self.average_containers(scheme)
+        theirs = self.average_containers(baseline)
+        return 1.0 - ours / theirs
+
+
+def run_static_sweep(
+    app: Application,
+    schemes: Sequence[Autoscaler],
+    workloads: Sequence[float],
+    slas: Sequence[float],
+    profiles: Optional[Mapping[str, MicroserviceProfile]] = None,
+    simulate: bool = False,
+    duration_min: float = 1.5,
+    warmup_min: float = 0.5,
+    seed: int = 0,
+    interference_multiplier: float = 1.0,
+    historic_multiplier: Optional[float] = None,
+) -> StaticSweepResult:
+    """Run the full (workload × SLA × scheme) grid.
+
+    Args:
+        app: Benchmark application.
+        schemes: Autoscalers to compare.
+        workloads: Per-service request rates (req/min) to sweep.
+        slas: End-to-end SLAs (ms) to sweep.
+        profiles: Latency profiles for the scalers; the application's
+            analytic profiles by default.
+        simulate: Also replay each allocation on the simulator to measure
+            violation rate and P95 (slower).
+        duration_min / warmup_min / seed: Simulation settings.
+        interference_multiplier: Actual host colocation level.  Schemes
+            with ``interference_aware`` condition their profiles on it
+            (Erms feeds measured utilization into Eq. 15); the rest scale
+            against *historic* profiles fitted when colocation was lighter
+            (``historic_multiplier``, default halfway between idle and the
+            current level) — the paper's §2.2 critique that fixed
+            statistics do not track interference.  The simulator replays
+            everyone at the true level.
+
+    Returns:
+        A :class:`StaticSweepResult`; infeasible (SLA below latency floor)
+        combinations are skipped for all schemes alike.
+    """
+    if profiles is None:
+        profiles = app.analytic_profiles(interference_multiplier)
+    if historic_multiplier is None:
+        historic_multiplier = 1.0 + (interference_multiplier - 1.0) / 2.0
+    blind_profiles = (
+        app.analytic_profiles(historic_multiplier)
+        if interference_multiplier != 1.0
+        else profiles
+    )
+    result = StaticSweepResult()
+    for workload in workloads:
+        for sla in slas:
+            specs = app.with_workloads(
+                {s.name: workload for s in app.services}, sla=sla
+            )
+            for scheme in schemes:
+                scheme_profiles = (
+                    profiles if scheme.interference_aware else blind_profiles
+                )
+                scheme.reset()  # each grid cell is a fresh deployment
+                try:
+                    allocation = scheme.scale(specs, scheme_profiles)
+                except InfeasibleSLAError:
+                    continue
+                row = {
+                    "workload": workload,
+                    "sla": sla,
+                    "scheme": scheme.name,
+                    "containers": allocation.total_containers(),
+                    "violation": None,
+                    "p95": None,
+                }
+                if simulate:
+                    multipliers = None
+                    if interference_multiplier != 1.0:
+                        multipliers = {
+                            name: [interference_multiplier] * count
+                            for name, count in allocation.containers.items()
+                        }
+                    sim = evaluate_allocation(
+                        specs,
+                        app.simulated,
+                        allocation,
+                        duration_min=duration_min,
+                        warmup_min=warmup_min,
+                        seed=seed,
+                        container_multipliers=multipliers,
+                    )
+                    violations = []
+                    p95s = []
+                    for spec in specs:
+                        if sim.completed.get(spec.name, 0) == 0:
+                            continue
+                        violations.append(
+                            sim.sla_violation_rate(spec.name, spec.sla)
+                        )
+                        p95s.append(sim.tail_latency(spec.name))
+                    if violations:
+                        row["violation"] = float(np.mean(violations))
+                        row["p95"] = float(np.mean(p95s))
+                result.rows.append(row)
+    return result

@@ -1,0 +1,82 @@
+"""Incremental construction of dependency graphs.
+
+``GraphBuilder`` complements the declarative :func:`repro.graphs.call`
+constructor for code that discovers a graph gradually — e.g. the tracing
+coordinator adding edges as it replays spans, or the synthetic Alibaba trace
+generator growing random trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.dependency import CallNode, DependencyGraph
+from repro.graphs.validation import validate_graph
+
+
+class GraphBuilder:
+    """Builds a :class:`DependencyGraph` one call at a time.
+
+    Example::
+
+        builder = GraphBuilder("compose-post")
+        t = builder.set_root("T")
+        url = builder.add_parallel(t, "Url")
+        u = builder.add_parallel(t, "U", stage=url)   # same stage as Url
+        builder.add_sequential(t, "C")
+        graph = builder.build()
+    """
+
+    def __init__(self, service: str):
+        self.service = service
+        self._root: Optional[CallNode] = None
+
+    def set_root(self, microservice: str, calls_per_request: float = 1.0) -> CallNode:
+        """Create the entering microservice node."""
+        if self._root is not None:
+            raise ValueError(f"root already set for service {self.service!r}")
+        self._root = CallNode(microservice, calls_per_request=calls_per_request)
+        return self._root
+
+    def add_sequential(
+        self,
+        parent: CallNode,
+        microservice: str,
+        calls_per_request: float = 1.0,
+    ) -> CallNode:
+        """Add a call that runs after all of ``parent``'s existing stages."""
+        node = CallNode(microservice, calls_per_request=calls_per_request)
+        return parent.add_sequential(node)
+
+    def add_parallel(
+        self,
+        parent: CallNode,
+        microservice: str,
+        stage: Optional[CallNode] = None,
+        calls_per_request: float = 1.0,
+    ) -> CallNode:
+        """Add a call running in parallel with ``parent``'s last stage.
+
+        If ``stage`` is given, the new call joins the stage containing that
+        node instead of the last stage.
+        """
+        node = CallNode(microservice, calls_per_request=calls_per_request)
+        if stage is None:
+            return parent.add_parallel(node)
+        for existing in parent.stages:
+            if stage in existing:
+                existing.append(node)
+                return node
+        raise ValueError(
+            f"{stage.microservice!r} is not a direct downstream call of "
+            f"{parent.microservice!r}"
+        )
+
+    def build(self, validate: bool = True) -> DependencyGraph:
+        """Finalize and (by default) validate the graph."""
+        if self._root is None:
+            raise ValueError(f"service {self.service!r} has no root microservice")
+        graph = DependencyGraph(service=self.service, root=self._root)
+        if validate:
+            validate_graph(graph)
+        return graph

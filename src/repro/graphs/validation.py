@@ -1,0 +1,45 @@
+"""Structural validation of dependency graphs.
+
+The Erms scaling models assume well-formed call trees: no empty stages, no
+recursive self-calls on a path (which would make the end-to-end latency
+recursion diverge), positive fan-out factors, and non-empty microservice
+names.  ``validate_graph`` enforces these invariants and raises
+:class:`GraphValidationError` with a precise message on violation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs import dependency
+
+
+class GraphValidationError(ValueError):
+    """A dependency graph violates a structural invariant."""
+
+
+def validate_graph(graph: "dependency.DependencyGraph") -> None:
+    """Check every invariant; raise :class:`GraphValidationError` on failure."""
+    if not graph.service:
+        raise GraphValidationError("service name must be non-empty")
+    _validate_node(graph.root, ancestry=[])
+
+
+def _validate_node(node: "dependency.CallNode", ancestry: List[str]) -> None:
+    if not node.microservice:
+        raise GraphValidationError("microservice name must be non-empty")
+    if node.calls_per_request <= 0:
+        raise GraphValidationError(
+            f"calls_per_request of {node.microservice!r} must be positive, "
+            f"got {node.calls_per_request}"
+        )
+    if node.microservice in ancestry:
+        cycle = " -> ".join(ancestry + [node.microservice])
+        raise GraphValidationError(f"recursive call cycle detected: {cycle}")
+    for index, stage in enumerate(node.stages):
+        if not stage:
+            raise GraphValidationError(
+                f"stage {index} of {node.microservice!r} is empty"
+            )
+        for child in stage:
+            _validate_node(child, ancestry + [node.microservice])

@@ -1,0 +1,57 @@
+"""Offline microservice profiling (paper §2.2, §5.2).
+
+Fits microservice tail latency as a piece-wise linear function of the
+per-container workload, with interference-dependent coefficients
+(paper Eq. 15):
+
+.. math::
+
+    L = (\\alpha^l C + \\beta^l M + c^l)\\,\\gamma + b^l,
+    \\qquad l = 1\\ (\\gamma \\le \\sigma),\\; 2\\ (\\text{otherwise})
+
+where :math:`C, M` are host CPU/memory utilization and the cut-off
+:math:`\\sigma` is itself a function of interference, learned by a decision
+tree.  Baseline learners (gradient-boosted trees standing in for XGBoost,
+and a small MLP) are implemented from scratch for the Fig. 10 accuracy
+comparison.
+"""
+
+from repro.profiling.piecewise import PiecewiseFit, fit_piecewise
+from repro.profiling.decision_tree import DecisionTreeRegressor
+from repro.profiling.interference import (
+    InterferenceAwareModel,
+    fit_interference_model,
+)
+from repro.profiling.extended import (
+    ExtendedInterferenceModel,
+    fit_extended_model,
+)
+from repro.profiling.baselines import (
+    GradientBoostedTrees,
+    MLPRegressor,
+)
+from repro.profiling.dataset import (
+    ProfilingDataset,
+    SyntheticMicroservice,
+    generate_synthetic_day,
+)
+from repro.profiling.accuracy import accuracy_score, mape, r_squared, within_tolerance
+
+__all__ = [
+    "PiecewiseFit",
+    "fit_piecewise",
+    "DecisionTreeRegressor",
+    "InterferenceAwareModel",
+    "fit_interference_model",
+    "ExtendedInterferenceModel",
+    "fit_extended_model",
+    "GradientBoostedTrees",
+    "MLPRegressor",
+    "ProfilingDataset",
+    "SyntheticMicroservice",
+    "generate_synthetic_day",
+    "accuracy_score",
+    "mape",
+    "r_squared",
+    "within_tolerance",
+]

@@ -1,0 +1,55 @@
+"""Accuracy metrics for profiling models.
+
+The paper reports "testing accuracy" percentages (83–88 % on
+DeathStarBench and Alibaba traces).  We interpret accuracy as
+``1 − MAPE`` clipped to [0, 1] — one minus the mean absolute percentage
+error — which matches the reported ranges for regression models, and also
+expose R² and a within-tolerance fraction for diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error (actual values must be positive)."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}"
+        )
+    if len(actual) == 0:
+        raise ValueError("cannot compute MAPE of empty arrays")
+    if np.any(actual <= 0):
+        raise ValueError("MAPE requires strictly positive actual values")
+    return float(np.mean(np.abs(predicted - actual) / actual))
+
+
+def accuracy_score(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Profiling accuracy: 1 − MAPE, clipped to [0, 1]."""
+    return float(np.clip(1.0 - mape(actual, predicted), 0.0, 1.0))
+
+
+def r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    residual = float(np.sum((actual - predicted) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def within_tolerance(
+    actual: np.ndarray, predicted: np.ndarray, tolerance: float = 0.2
+) -> float:
+    """Fraction of predictions within ±tolerance relative error."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if np.any(actual <= 0):
+        raise ValueError("within_tolerance requires positive actual values")
+    relative = np.abs(predicted - actual) / actual
+    return float(np.mean(relative <= tolerance))

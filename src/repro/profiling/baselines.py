@@ -1,0 +1,194 @@
+"""Baseline profiling learners for the Fig. 10 accuracy comparison.
+
+The paper compares its piecewise model against XGBoost and a three-layer
+neural network with 64 neurons.  Neither library is available offline, so
+both are reimplemented from scratch on numpy:
+
+* :class:`GradientBoostedTrees` — squared-loss gradient boosting over the
+  CART trees of :mod:`repro.profiling.decision_tree` (the algorithmic core
+  of XGBoost, minus its second-order/regularization refinements, which do
+  not matter at this data scale).
+* :class:`MLPRegressor` — a 3-layer ReLU network trained with Adam on
+  standardized inputs/targets, matching the paper's "three-layer NN with
+  64 neurons".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.profiling.decision_tree import DecisionTreeRegressor
+
+
+class GradientBoostedTrees:
+    """Gradient boosting with CART weak learners (XGBoost stand-in).
+
+    Args:
+        n_estimators: Number of boosting rounds.
+        learning_rate: Shrinkage applied to each tree's contribution.
+        max_depth: Depth of each weak learner.
+        min_samples_leaf: Leaf size of each weak learner.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0 < learning_rate <= 1:
+            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._base: float = 0.0
+        self._trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostedTrees":
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        self._base = float(np.mean(targets))
+        self._trees = []
+        prediction = np.full_like(targets, self._base)
+        for _ in range(self.n_estimators):
+            residuals = targets - prediction
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(features, residuals)
+            update = tree.predict(features)
+            prediction = prediction + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("model is not fitted; call fit() first")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        prediction = np.full(features.shape[0], self._base)
+        for tree in self._trees:
+            prediction = prediction + self.learning_rate * tree.predict(features)
+        return prediction
+
+
+class MLPRegressor:
+    """Three-layer ReLU MLP trained with Adam.
+
+    Architecture (matching the paper's baseline): input -> 64 -> 64 ->
+    output.  Inputs and targets are standardized internally.
+
+    Args:
+        hidden: Width of the two hidden layers.
+        epochs: Full passes over the training data.
+        batch_size: Mini-batch size.
+        learning_rate: Adam step size.
+        seed: Weight-initialization and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 64,
+        epochs: int = 200,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ):
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._params: Optional[List[np.ndarray]] = None
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        rng = np.random.default_rng(self.seed)
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        y = np.asarray(targets, dtype=float)
+
+        self._x_mean = x.mean(axis=0)
+        self._x_std = x.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        xs = (x - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+
+        d = xs.shape[1]
+        h = self.hidden
+
+        def _init(rows: int, cols: int) -> np.ndarray:
+            return rng.normal(0.0, np.sqrt(2.0 / rows), size=(rows, cols))
+
+        params = [
+            _init(d, h), np.zeros(h),
+            _init(h, h), np.zeros(h),
+            _init(h, 1), np.zeros(1),
+        ]
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = len(ys)
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = xs[idx], ys[idx]
+
+                # Forward
+                z1 = xb @ params[0] + params[1]
+                a1 = np.maximum(z1, 0.0)
+                z2 = a1 @ params[2] + params[3]
+                a2 = np.maximum(z2, 0.0)
+                out = (a2 @ params[4] + params[5]).ravel()
+
+                # Backward (MSE)
+                grad_out = (2.0 / len(yb)) * (out - yb)[:, None]
+                grads = [None] * 6
+                grads[4] = a2.T @ grad_out
+                grads[5] = grad_out.sum(axis=0)
+                delta2 = (grad_out @ params[4].T) * (z2 > 0)
+                grads[2] = a1.T @ delta2
+                grads[3] = delta2.sum(axis=0)
+                delta1 = (delta2 @ params[2].T) * (z1 > 0)
+                grads[0] = xb.T @ delta1
+                grads[1] = delta1.sum(axis=0)
+
+                step += 1
+                for i in range(6):
+                    m[i] = beta1 * m[i] + (1 - beta1) * grads[i]
+                    v[i] = beta2 * v[i] + (1 - beta2) * grads[i] ** 2
+                    m_hat = m[i] / (1 - beta1**step)
+                    v_hat = v[i] / (1 - beta2**step)
+                    params[i] = params[i] - self.learning_rate * m_hat / (
+                        np.sqrt(v_hat) + eps
+                    )
+
+        self._params = params
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        xs = (x - self._x_mean) / self._x_std
+        p = self._params
+        a1 = np.maximum(xs @ p[0] + p[1], 0.0)
+        a2 = np.maximum(a1 @ p[2] + p[3], 0.0)
+        out = (a2 @ p[4] + p[5]).ravel()
+        return out * self._y_std + self._y_mean

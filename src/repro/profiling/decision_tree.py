@@ -1,0 +1,141 @@
+"""A from-scratch CART regression tree.
+
+Erms learns the cut-off point :math:`\\sigma_i` as a function of resource
+interference with a decision tree (paper §5.2, citing Quinlan).  The
+environment has no scikit-learn, so this is a small, dependency-free CART
+implementation: binary splits on single features chosen by variance
+reduction, mean prediction at the leaves.  It is also the weak learner of
+the gradient-boosted baseline in :mod:`repro.profiling.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature`` None."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits.
+
+    Args:
+        max_depth: Maximum tree depth (root at depth 0).
+        min_samples_leaf: Minimum samples each child must retain.
+        max_thresholds: Per feature, candidate thresholds are the unique
+            values when few, otherwise this many quantiles — keeps fitting
+            near-linear in sample count.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 5,
+        max_thresholds: int = 32,
+    ):
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit the tree; ``features`` is (n, d), ``targets`` is (n,)."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"feature rows {features.shape[0]} != targets {targets.shape[0]}"
+            )
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for (n, d) features."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self._predict_one(row) for row in features])
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return _depth(self._root)
+
+    # ------------------------------------------------------------------
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(np.mean(targets)))
+        if depth >= self.max_depth or len(targets) < 2 * self.min_samples_leaf:
+            return node
+        if float(np.ptp(targets)) == 0.0:
+            return node
+
+        best_gain, best_feature, best_threshold = 0.0, None, 0.0
+        base_sse = float(np.sum((targets - node.value) ** 2))
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            unique = np.unique(column)
+            if len(unique) < 2:
+                continue
+            if len(unique) > self.max_thresholds:
+                quantiles = np.linspace(0.0, 1.0, self.max_thresholds + 2)[1:-1]
+                thresholds = np.unique(np.quantile(column, quantiles))
+            else:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = len(targets) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left, right = targets[mask], targets[~mask]
+                sse = float(
+                    np.sum((left - left.mean()) ** 2)
+                    + np.sum((right - right.mean()) ** 2)
+                )
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best_feature, best_threshold = gain, feature, threshold
+
+        if best_feature is None:
+            return node
+        mask = features[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = float(best_threshold)
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        assert node is not None
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.value

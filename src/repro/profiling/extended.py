@@ -1,0 +1,211 @@
+"""Generalized interference model: arbitrary shared resources (paper §9).
+
+The shipped Eq. 15 conditions the latency slope on host CPU and memory
+utilization.  The paper notes the model "can be easily extended to include
+various shared resources, including memory bandwidth, LLC, and network
+bandwidth" (§5.2) and names the generalization future work (§9).  This
+module implements it: each interval's slope is an affine function of a
+*named resource vector*,
+
+.. math:: L = \\Big(\\sum_r w_r^l\\, u_r + c^l\\Big)\\,\\gamma + b^l,
+
+with the cut-off σ(u) learned by a decision tree over the same vector.
+The two-resource :func:`~repro.profiling.interference.fit_interference_model`
+is the special case ``resources = {"cpu": ..., "memory": ...}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import LatencySegment, PiecewiseLatencyModel
+from repro.profiling.decision_tree import DecisionTreeRegressor
+from repro.profiling.piecewise import MIN_SLOPE, fit_piecewise
+
+
+@dataclass(frozen=True)
+class ExtendedSegment:
+    """One interval: named resource weights, base slope c, intercept b."""
+
+    weights: Tuple[Tuple[str, float], ...]
+    c: float
+    b: float
+
+    def slope(self, utilization: Mapping[str, float]) -> float:
+        value = self.c + sum(
+            weight * utilization.get(name, 0.0) for name, weight in self.weights
+        )
+        return max(value, MIN_SLOPE)
+
+
+@dataclass
+class ExtendedInterferenceModel:
+    """Eq. 15 generalized to an arbitrary resource vector."""
+
+    resource_names: Tuple[str, ...]
+    low: ExtendedSegment
+    high: ExtendedSegment
+    cutoff_tree: DecisionTreeRegressor
+    default_cutoff: float
+
+    def _vector(self, utilization: Mapping[str, float]) -> np.ndarray:
+        return np.array(
+            [[utilization.get(name, 0.0) for name in self.resource_names]]
+        )
+
+    def cutoff(self, utilization: Mapping[str, float]) -> float:
+        value = float(self.cutoff_tree.predict(self._vector(utilization))[0])
+        if not np.isfinite(value) or value <= 0:
+            return self.default_cutoff
+        return value
+
+    def model_at(self, utilization: Mapping[str, float]) -> PiecewiseLatencyModel:
+        """Condition on a measured resource vector."""
+        return PiecewiseLatencyModel(
+            low=LatencySegment(self.low.slope(utilization), self.low.b),
+            high=LatencySegment(self.high.slope(utilization), self.high.b),
+            cutoff=self.cutoff(utilization),
+        )
+
+    def predict(
+        self, loads: np.ndarray, resources: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        loads = np.asarray(loads, dtype=float)
+        matrix = np.column_stack(
+            [np.asarray(resources[name], dtype=float) for name in self.resource_names]
+        )
+        cutoffs = self.cutoff_tree.predict(matrix)
+        cutoffs = np.where(
+            np.isfinite(cutoffs) & (cutoffs > 0), cutoffs, self.default_cutoff
+        )
+
+        def _slopes(segment: ExtendedSegment) -> np.ndarray:
+            weights = np.array([w for _, w in segment.weights])
+            return np.maximum(matrix @ weights + segment.c, MIN_SLOPE)
+
+        low = _slopes(self.low) * loads + self.low.b
+        high = _slopes(self.high) * loads + self.high.b
+        return np.where(loads <= cutoffs, low, high)
+
+
+def _fit_side(
+    loads: np.ndarray, matrix: np.ndarray, latencies: np.ndarray, names
+) -> ExtendedSegment:
+    if len(loads) < matrix.shape[1] + 2:
+        slope = MIN_SLOPE
+        intercept = float(np.mean(latencies)) if len(latencies) else 0.0
+        if len(loads) >= 2 and float(np.ptp(loads)) > 0:
+            slope = max(
+                float(
+                    np.sum((loads - loads.mean()) * (latencies - latencies.mean()))
+                    / np.sum((loads - loads.mean()) ** 2)
+                ),
+                MIN_SLOPE,
+            )
+            intercept = float(latencies.mean() - slope * loads.mean())
+        return ExtendedSegment(
+            weights=tuple((name, 0.0) for name in names), c=slope, b=intercept
+        )
+    design = np.column_stack(
+        [matrix * loads[:, None], loads, np.ones_like(loads)]
+    )
+    solution, *_ = np.linalg.lstsq(design, latencies, rcond=None)
+    *weights, c, b = (float(v) for v in solution)
+    return ExtendedSegment(
+        weights=tuple(zip(names, weights)), c=c, b=b
+    )
+
+
+def fit_extended_model(
+    loads: np.ndarray,
+    resources: Mapping[str, Sequence[float]],
+    latencies: np.ndarray,
+    bucket_quantiles: int = 4,
+    min_bucket_samples: int = 12,
+    tree_depth: int = 4,
+) -> ExtendedInterferenceModel:
+    """Fit the generalized model.
+
+    Bucketing for local cut-off estimation quantizes each resource into
+    ``bucket_quantiles`` levels (the 2-D grid of the base fitter does not
+    scale to many resources).
+
+    Args:
+        loads: Per-container workloads γ.
+        resources: Named utilization series, all the same length as
+            ``loads``.
+        latencies: Tail latency observations.
+    """
+    loads = np.asarray(loads, dtype=float)
+    latencies = np.asarray(latencies, dtype=float)
+    names = tuple(sorted(resources))
+    if not names:
+        raise ValueError("need at least one resource series")
+    matrix = np.column_stack(
+        [np.asarray(resources[name], dtype=float) for name in names]
+    )
+    if matrix.shape[0] != len(loads) or len(latencies) != len(loads):
+        raise ValueError("all series must have the same length")
+    if len(loads) < 8:
+        raise ValueError(f"need at least 8 samples, got {len(loads)}")
+
+    # Quantile-bucket the resource vector for local cut-off estimates.
+    keys: List[Tuple[int, ...]] = []
+    edges = [
+        np.quantile(matrix[:, j], np.linspace(0, 1, bucket_quantiles + 1)[1:-1])
+        for j in range(matrix.shape[1])
+    ]
+    for row in matrix:
+        keys.append(
+            tuple(int(np.searchsorted(edges[j], row[j])) for j in range(len(row)))
+        )
+    buckets: Dict[Tuple[int, ...], List[int]] = {}
+    for index, key in enumerate(keys):
+        buckets.setdefault(key, []).append(index)
+
+    centers, cutoffs = [], []
+    for indices in buckets.values():
+        if len(indices) < min_bucket_samples:
+            continue
+        idx = np.array(indices)
+        try:
+            fit = fit_piecewise(loads[idx], latencies[idx])
+        except ValueError:
+            continue
+        centers.append(matrix[idx].mean(axis=0))
+        cutoffs.append(fit.model.cutoff)
+
+    if centers:
+        tree = DecisionTreeRegressor(max_depth=tree_depth, min_samples_leaf=1)
+        tree.fit(np.array(centers), np.array(cutoffs))
+        default_cutoff = float(np.median(cutoffs))
+    else:
+        fit = fit_piecewise(loads, latencies)
+        tree = DecisionTreeRegressor(max_depth=0)
+        tree.fit(np.zeros((1, matrix.shape[1])), np.array([fit.model.cutoff]))
+        default_cutoff = fit.model.cutoff
+    if default_cutoff <= 0:
+        default_cutoff = float(np.median(loads)) or 1.0
+
+    predicted = tree.predict(matrix)
+    predicted = np.where(
+        np.isfinite(predicted) & (predicted > 0), predicted, default_cutoff
+    )
+    low_mask = loads <= predicted
+    if low_mask.any() and (~low_mask).any():
+        low = _fit_side(loads[low_mask], matrix[low_mask], latencies[low_mask], names)
+        high = _fit_side(loads[~low_mask], matrix[~low_mask], latencies[~low_mask], names)
+    else:
+        shared = _fit_side(loads, matrix, latencies, names)
+        low = high = shared
+
+    return ExtendedInterferenceModel(
+        resource_names=names,
+        low=low,
+        high=high,
+        cutoff_tree=tree,
+        default_cutoff=default_cutoff,
+    )

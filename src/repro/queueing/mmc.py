@@ -1,0 +1,169 @@
+"""M/M/1 and M/M/c closed forms.
+
+Rates are expressed in requests per millisecond and service times in
+milliseconds throughout, matching the simulator's units; helpers accept
+requests/minute where noted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time (queueing only) of an M/M/1 queue.
+
+    W_q = ρ / (μ − λ) with ρ = λ/μ; requires λ < μ.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be non-negative, got {arrival_rate}")
+    if arrival_rate >= service_rate:
+        raise ValueError(
+            f"unstable queue: arrival rate {arrival_rate} >= service rate "
+            f"{service_rate}"
+        )
+    rho = arrival_rate / service_rate
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_response(arrival_rate: float, service_rate: float) -> float:
+    """Mean response time (wait + service) of an M/M/1 queue: 1/(μ − λ)."""
+    mm1_mean_wait(arrival_rate, service_rate)  # validates stability
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival waits in an M/M/c queue.
+
+    Args:
+        servers: Number of servers c.
+        offered_load: a = λ/μ (in Erlangs); requires a < c for stability.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be non-negative, got {offered_load}")
+    if offered_load >= servers:
+        raise ValueError(
+            f"unstable queue: offered load {offered_load} >= servers {servers}"
+        )
+    if offered_load == 0:
+        return 0.0
+    # Numerically stable iterative form of the Erlang-B recursion, then
+    # the standard B -> C conversion.
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+@dataclass(frozen=True)
+class MMc:
+    """An M/M/c queue: c servers, Poisson arrivals, exponential service.
+
+    Attributes:
+        arrival_rate: λ, requests per ms.
+        service_rate: μ per server, requests per ms (= 1 / mean service ms).
+        servers: c.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
+        if self.service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"unstable queue: utilization {self.utilization:.3f} >= 1"
+            )
+
+    @classmethod
+    def from_per_minute(
+        cls, arrivals_per_minute: float, mean_service_ms: float, servers: int
+    ) -> "MMc":
+        """Build from requests/minute and a mean service time in ms."""
+        return cls(
+            arrival_rate=arrivals_per_minute / 60_000.0,
+            service_rate=1.0 / mean_service_ms,
+            servers=servers,
+        )
+
+    @property
+    def offered_load(self) -> float:
+        """a = λ/μ in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ/(cμ)."""
+        return self.offered_load / self.servers
+
+    def wait_probability(self) -> float:
+        """Erlang-C probability of queueing."""
+        return erlang_c(self.servers, self.offered_load)
+
+    def mean_wait(self) -> float:
+        """Mean time in queue (ms)."""
+        c_prob = self.wait_probability()
+        return c_prob / (self.servers * self.service_rate - self.arrival_rate)
+
+    def mean_response(self) -> float:
+        """Mean response time: wait plus service (ms)."""
+        return self.mean_wait() + 1.0 / self.service_rate
+
+    def wait_tail(self, t: float) -> float:
+        """P(wait > t): Erlang-C · exp(−(cμ − λ)t)."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        rate = self.servers * self.service_rate - self.arrival_rate
+        return self.wait_probability() * math.exp(-rate * t)
+
+    def response_percentile(self, percentile: float = 95.0) -> float:
+        """Approximate response-time percentile (ms).
+
+        Uses the standard approximation: response ≈ service (exponential)
+        plus the conditional exponential wait; the percentile is located
+        by bisection on the exact mixture CDF of wait + an independent
+        exponential service time evaluated numerically.
+        """
+        if not 0 < percentile < 100:
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        target = percentile / 100.0
+        mu = self.service_rate
+        rate = self.servers * mu - self.arrival_rate
+        c_prob = self.wait_probability()
+
+        def cdf(t: float) -> float:
+            # P(S + W <= t) where S ~ Exp(mu), W is 0 w.p. (1-C) and
+            # Exp(rate) w.p. C (the M/M/c conditional wait).
+            no_wait = 1.0 - math.exp(-mu * t)
+            if rate == mu:
+                conv = 1.0 - math.exp(-mu * t) * (1.0 + mu * t)
+            else:
+                conv = 1.0 - (
+                    rate * math.exp(-mu * t) - mu * math.exp(-rate * t)
+                ) / (rate - mu)
+            return (1.0 - c_prob) * no_wait + c_prob * conv
+
+        low, high = 0.0, 1.0 / mu
+        while cdf(high) < target:
+            high *= 2.0
+            if high > 1e12:
+                raise RuntimeError("percentile search diverged")
+        for _ in range(200):
+            mid = (low + high) / 2.0
+            if cdf(mid) < target:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0

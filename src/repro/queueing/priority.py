@@ -1,0 +1,91 @@
+"""Non-preemptive priority M/M/1: the theory behind Erms' scheduling.
+
+Closed forms for the two-(or more-)class non-preemptive priority M/M/1
+queue (all classes share one exponential server; a job in service is never
+interrupted).  This is the analytic counterpart of the simulator's
+δ = 0 strict-priority policy at a single-threaded shared container, and
+the mechanism behind the §2.3 observation: prioritization shifts waiting
+time from the sensitive class to the insensitive one while preserving the
+work-conserving aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class MM1Priority:
+    """Non-preemptive priority M/M/1 with per-class Poisson arrivals.
+
+    Attributes:
+        arrival_rates: λ_k per class, requests/ms, highest priority first.
+        service_rate: μ, shared by all classes (requests/ms).
+    """
+
+    arrival_rates: Sequence[float]
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if not self.arrival_rates:
+            raise ValueError("need at least one class")
+        if any(rate < 0 for rate in self.arrival_rates):
+            raise ValueError("arrival rates must be non-negative")
+        if self.service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        if self.total_utilization >= 1.0:
+            raise ValueError(
+                f"unstable queue: total utilization "
+                f"{self.total_utilization:.3f} >= 1"
+            )
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(self.arrival_rates) / self.service_rate
+
+    def class_utilizations(self) -> List[float]:
+        return [rate / self.service_rate for rate in self.arrival_rates]
+
+    def mean_wait(self, class_index: int) -> float:
+        """Mean queueing delay of class k (0 = highest priority).
+
+        The Cobham formula for non-preemptive M/M/1 priority:
+        W_k = R / ((1 − σ_{k-1})(1 − σ_k)) with R the mean residual
+        service time (= ρ/μ for exponential service) and σ_k the
+        cumulative utilization of classes 0..k.
+        """
+        if not 0 <= class_index < len(self.arrival_rates):
+            raise IndexError(f"no class {class_index}")
+        rho = self.total_utilization
+        residual = rho / self.service_rate
+        cumulative = 0.0
+        sigma_prev = 0.0
+        for k, utilization in enumerate(self.class_utilizations()):
+            sigma_prev = cumulative
+            cumulative += utilization
+            if k == class_index:
+                break
+        return residual / ((1.0 - sigma_prev) * (1.0 - cumulative))
+
+    def mean_response(self, class_index: int) -> float:
+        """Mean response time of class k: wait + service."""
+        return self.mean_wait(class_index) + 1.0 / self.service_rate
+
+    def aggregate_mean_wait(self) -> float:
+        """λ-weighted mean wait across classes.
+
+        By work conservation this equals the FCFS M/M/1 mean wait at the
+        same total load — prioritization redistributes waiting, it does
+        not create or destroy it.
+        """
+        total = sum(self.arrival_rates)
+        if total == 0:
+            return 0.0
+        return (
+            sum(
+                rate * self.mean_wait(k)
+                for k, rate in enumerate(self.arrival_rates)
+            )
+            / total
+        )

@@ -1,0 +1,101 @@
+"""Sharing vs. partitioning at a shared microservice (paper §2.3).
+
+The paper validates with an M/M/1 model that *sharing* a microservice's
+containers between two services yields better mean processing time than
+*partitioning* them, at fixed resources — statistical multiplexing wins.
+The catch, and the paper's point, is that under SLA-driven scaling the
+binding constraint is the most latency-sensitive service, so FCFS sharing
+forces over-provisioning; priority scheduling recovers the multiplexing
+win.  This module provides the closed-form comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queueing.mmc import MMc
+from repro.queueing.priority import MM1Priority
+
+
+@dataclass(frozen=True)
+class SharingComparison:
+    """Mean response times (ms) of each arrangement of the same capacity.
+
+    ``shared_fcfs`` is the M/M/c result; the priority numbers use the
+    single-fast-server (M/M/1 at rate c·μ) aggregation, so their FCFS
+    reference is ``shared_fcfs_fast_server`` — compare priority classes
+    against that, not against the M/M/c value.
+    """
+
+    shared_fcfs: float
+    shared_fcfs_fast_server: float
+    partitioned_class1: float
+    partitioned_class2: float
+    shared_priority_class1: float
+    shared_priority_class2: float
+
+    @property
+    def partitioned_mean(self) -> float:
+        """Arrival-weighted mean response across the two partitions."""
+        return (self.partitioned_class1 + self.partitioned_class2) / 2.0
+
+
+def sharing_vs_partitioning(
+    arrivals_per_minute_1: float,
+    arrivals_per_minute_2: float,
+    mean_service_ms: float,
+    servers: int,
+) -> SharingComparison:
+    """Compare arrangements of ``servers`` identical servers.
+
+    * **shared FCFS** — one M/M/c serving both classes;
+    * **partitioned** — servers split evenly, one M/M/(c/2) per class
+      (``servers`` must be even);
+    * **shared priority** — for the single-server case, the exact
+      non-preemptive priority M/M/1 per-class response times; for c > 1
+      the M/M/1 approximation on an aggregated fast server (standard
+      resource-pooling approximation).
+
+    Returns per-arrangement mean response times; the paper's observation
+    is ``shared_fcfs < partitioned_mean`` whenever both classes load the
+    queue (pooling helps), while per-class times under priority bracket
+    the FCFS time.
+    """
+    if servers < 2 or servers % 2 != 0:
+        raise ValueError(f"servers must be an even number >= 2, got {servers}")
+    if mean_service_ms <= 0:
+        raise ValueError("mean_service_ms must be positive")
+
+    shared = MMc.from_per_minute(
+        arrivals_per_minute_1 + arrivals_per_minute_2, mean_service_ms, servers
+    )
+    part1 = MMc.from_per_minute(
+        arrivals_per_minute_1, mean_service_ms, servers // 2
+    )
+    part2 = MMc.from_per_minute(
+        arrivals_per_minute_2, mean_service_ms, servers // 2
+    )
+
+    # Priority: aggregate the c servers into one fast server (rate c·μ),
+    # exact for c == 1.
+    priority = MM1Priority(
+        arrival_rates=[
+            arrivals_per_minute_1 / 60_000.0,
+            arrivals_per_minute_2 / 60_000.0,
+        ],
+        service_rate=servers / mean_service_ms,
+    )
+    fast_fcfs = MMc(
+        arrival_rate=(arrivals_per_minute_1 + arrivals_per_minute_2) / 60_000.0,
+        service_rate=servers / mean_service_ms,
+        servers=1,
+    )
+
+    return SharingComparison(
+        shared_fcfs=shared.mean_response(),
+        shared_fcfs_fast_server=fast_fcfs.mean_response(),
+        partitioned_class1=part1.mean_response(),
+        partitioned_class2=part2.mean_response(),
+        shared_priority_class1=priority.mean_response(0),
+        shared_priority_class2=priority.mean_response(1),
+    )

@@ -1,0 +1,55 @@
+"""Minimal discrete-event engine.
+
+A binary-heap event queue keyed by (time, sequence): ties are broken by
+insertion order, which makes simulations fully deterministic for a fixed
+RNG seed.  Callbacks receive the current simulation time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+Callback = Callable[[float], None]
+
+
+class EventQueue:
+    """Time-ordered callback queue driving the simulation."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+
+    def schedule(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute time ``time`` (ms)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` after ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule(self.now + delay, callback)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run_until(self, end_time: float) -> int:
+        """Process events until the queue drains or ``end_time`` passes.
+
+        Returns the number of events processed.  Events scheduled exactly
+        at ``end_time`` are still processed; later ones remain queued.
+        """
+        processed = 0
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+            processed += 1
+        self.now = max(self.now, end_time)
+        return processed

@@ -1,0 +1,103 @@
+"""Queue-scheduling policies at (shared) microservice containers.
+
+Two policies from the paper:
+
+* FCFS — the Kubernetes default: one queue, arrival order.
+* δ-probabilistic priority (paper §5.3.2) — one queue per service priority
+  rank; when a thread frees, the highest-priority non-empty queue is served
+  with probability ``1 − δ``, the next with ``δ(1 − δ)``, and so on, the
+  geometric tail going to the lowest-priority non-empty queue.  A small δ
+  (the paper uses 0.05) protects low-priority services from starvation at
+  a negligible cost to high-priority tail latency (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+import numpy as np
+
+
+class QueuePolicy(abc.ABC):
+    """A container's request queue."""
+
+    @abc.abstractmethod
+    def push(self, job: Any, service: str) -> None:
+        """Enqueue a job originating from ``service``."""
+
+    @abc.abstractmethod
+    def pop(self) -> Optional[Any]:
+        """Dequeue the next job to process, or None when empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued jobs."""
+
+
+class FCFSQueue(QueuePolicy):
+    """Single first-come-first-served queue."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Any] = deque()
+
+    def push(self, job: Any, service: str) -> None:
+        self._queue.append(job)
+
+    def pop(self) -> Optional[Any]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityQueuePolicy(QueuePolicy):
+    """Erms' δ-probabilistic priority scheduling (paper §5.3.2).
+
+    Args:
+        ranks: Priority rank per service name; rank 0 is served first.
+            Services not listed default to the lowest known rank + 1.
+        delta: The δ parameter; 0 gives strict priority.
+        rng: Random generator for the probabilistic choice.
+    """
+
+    def __init__(
+        self,
+        ranks: Mapping[str, int],
+        delta: float = 0.05,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 <= delta < 1.0:
+            raise ValueError(f"delta must be in [0, 1), got {delta}")
+        self.ranks = dict(ranks)
+        self.delta = delta
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._default_rank = (max(self.ranks.values()) + 1) if self.ranks else 0
+        self._queues: Dict[int, Deque[Any]] = {}
+        self._size = 0
+
+    def push(self, job: Any, service: str) -> None:
+        rank = self.ranks.get(service, self._default_rank)
+        self._queues.setdefault(rank, deque()).append(job)
+        self._size += 1
+
+    def pop(self) -> Optional[Any]:
+        if self._size == 0:
+            return None
+        non_empty: List[int] = sorted(
+            rank for rank, queue in self._queues.items() if queue
+        )
+        chosen = non_empty[-1]
+        for rank in non_empty[:-1]:
+            if self._rng.random() < 1.0 - self.delta:
+                chosen = rank
+                break
+        job = self._queues[chosen].popleft()
+        self._size -= 1
+        return job
+
+    def __len__(self) -> int:
+        return self._size

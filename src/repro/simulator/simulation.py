@@ -1,0 +1,542 @@
+"""The cluster simulator: request lifecycles over dependency graphs.
+
+One simulation run models a fixed allocation (containers per microservice,
+optionally with per-container interference multipliers from a placement)
+serving one or more services whose requests arrive as a Poisson process.
+
+Request lifecycle at a call node:
+
+1. the request joins the queue of one of the microservice's containers
+   (round-robin across containers, like an L4 load balancer);
+2. when a thread frees, the container's queue policy (FCFS or δ-priority)
+   picks the next job; the thread is held for an exponentially distributed
+   processing time with mean ``base_service_ms × host multiplier``;
+3. the thread is released, downstream stages execute (all calls of a stage
+   in parallel, stages in sequence), and the response propagates upward.
+
+The *own latency* of a microservice — queueing plus processing — matches
+the quantity the tracing coordinator extracts via paper Eq. 1, and its
+P95-vs-load curve has the paper's piecewise-linear shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import ServiceSpec
+from repro.graphs import CallNode
+from repro.simulator.events import EventQueue
+from repro.simulator.scheduler import FCFSQueue, PriorityQueuePolicy, QueuePolicy
+
+#: Request arrival rate: requests/minute, constant or a function of the
+#: current minute (for dynamic workloads).
+RateSpec = Union[float, Callable[[float], float]]
+
+_MS_PER_MINUTE = 60_000.0
+
+
+@dataclass(frozen=True)
+class SimulatedMicroservice:
+    """Ground-truth performance parameters of one microservice.
+
+    Attributes:
+        name: Microservice name (must match graph node names).
+        base_service_ms: Mean processing time on an idle host.
+        threads: Worker threads per container (the paper's explanation for
+            the cut-off point: beyond thread saturation, queueing begins).
+    """
+
+    name: str
+    base_service_ms: float = 2.0
+    threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_service_ms <= 0:
+            raise ValueError(
+                f"base_service_ms of {self.name!r} must be positive"
+            )
+        if self.threads < 1:
+            raise ValueError(f"threads of {self.name!r} must be >= 1")
+
+
+@dataclass
+class SimulationConfig:
+    """Run-level knobs."""
+
+    duration_min: float = 5.0
+    warmup_min: float = 0.5
+    seed: int = 0
+    delta: float = 0.05
+    scheduling: str = "fcfs"  # "fcfs" | "priority"
+    drain: bool = True  # let in-flight requests finish after arrivals stop
+    record_own_latency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_min <= 0:
+            raise ValueError("duration_min must be positive")
+        if not 0 <= self.warmup_min < self.duration_min:
+            raise ValueError("warmup_min must be in [0, duration_min)")
+        if self.scheduling not in ("fcfs", "priority"):
+            raise ValueError(
+                f"scheduling must be 'fcfs' or 'priority', got {self.scheduling!r}"
+            )
+
+
+class _Job:
+    """One call awaiting processing at a container."""
+
+    __slots__ = ("service", "node", "arrival", "on_processed")
+
+    def __init__(
+        self,
+        service: str,
+        node: CallNode,
+        arrival: float,
+        on_processed: Callable[[float, float], None],
+    ):
+        self.service = service
+        self.node = node
+        self.arrival = arrival
+        self.on_processed = on_processed
+
+
+class _Container:
+    """A container: thread pool + queue policy + interference multiplier.
+
+    ``multiplier`` may be a float (static colocation level) or a callable
+    of the current simulation minute (iBench-style injection schedules,
+    paper §6.2 fixes a level per hour).
+    """
+
+    __slots__ = ("queue", "free_threads", "multiplier")
+
+    def __init__(self, queue: QueuePolicy, threads: int, multiplier):
+        self.queue = queue
+        self.free_threads = threads
+        self.multiplier = multiplier
+
+    def multiplier_at(self, now_ms: float) -> float:
+        if callable(self.multiplier):
+            return float(self.multiplier(now_ms / _MS_PER_MINUTE))
+        return float(self.multiplier)
+
+
+class _MicroserviceState:
+    """All containers of one microservice plus dispatch bookkeeping."""
+
+    __slots__ = ("spec", "containers", "_next")
+
+    def __init__(self, spec: SimulatedMicroservice, containers: List[_Container]):
+        self.spec = spec
+        self.containers = containers
+        self._next = 0
+
+    def pick(self) -> _Container:
+        if self._next >= len(self.containers):
+            self._next = 0
+        container = self.containers[self._next]
+        self._next = (self._next + 1) % len(self.containers)
+        return container
+
+    def add(self, container: _Container) -> None:
+        self.containers.append(container)
+
+    def remove_last(self) -> _Container:
+        """Take one container out of rotation (it keeps finishing work)."""
+        if len(self.containers) <= 1:
+            raise ValueError("cannot remove the last container")
+        return self.containers.pop()
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one run."""
+
+    duration_min: float
+    warmup_min: float
+    generated: Dict[str, int] = field(default_factory=dict)
+    completed: Dict[str, int] = field(default_factory=dict)
+    #: Per service: (completion minute, end-to-end latency ms) pairs.
+    end_to_end: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Per microservice: (minute, own latency ms) pairs.
+    own_latency: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Per microservice: calls completed per minute index.
+    calls_per_minute: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    containers: Dict[str, int] = field(default_factory=dict)
+
+    def latencies(self, service: str, include_warmup: bool = False) -> np.ndarray:
+        """End-to-end latency samples of one service (post-warmup)."""
+        samples = self.end_to_end.get(service, [])
+        if include_warmup:
+            return np.array([latency for _, latency in samples])
+        return np.array(
+            [lat for minute, lat in samples if minute >= self.warmup_min]
+        )
+
+    def tail_latency(self, service: str, percentile: float = 95.0) -> float:
+        """P-th percentile end-to-end latency of one service."""
+        values = self.latencies(service)
+        if len(values) == 0:
+            raise ValueError(f"no completed requests for service {service!r}")
+        return float(np.percentile(values, percentile))
+
+    def sla_violation_rate(self, service: str, sla: float) -> float:
+        """Fraction of post-warmup requests exceeding ``sla`` ms."""
+        values = self.latencies(service)
+        if len(values) == 0:
+            raise ValueError(f"no completed requests for service {service!r}")
+        return float(np.mean(values > sla))
+
+    def own_latency_percentile(
+        self, microservice: str, percentile: float = 95.0
+    ) -> float:
+        samples = [
+            lat
+            for minute, lat in self.own_latency.get(microservice, [])
+            if minute >= self.warmup_min
+        ]
+        if not samples:
+            raise ValueError(f"no own-latency samples for {microservice!r}")
+        return float(np.percentile(samples, percentile))
+
+    def to_metrics_store(
+        self,
+        cpu_utilization: float = 0.0,
+        memory_utilization: float = 0.0,
+        host_id: str = "sim-host",
+    ):
+        """Export the run's telemetry as a Prometheus-like MetricsStore.
+
+        Bridges the simulator to the offline-profiling pipeline (§5.2):
+        per-request own latencies become latency observations, per-minute
+        completion counts become call-count samples (normalized by the
+        container count), and the given host utilization is recorded once
+        per minute.  Requires the run to have used
+        ``record_own_latency=True``.
+        """
+        from repro.tracing.metrics import MetricsStore
+
+        store = MetricsStore()
+        # Only full steady-state minutes: warmup transients and the
+        # post-arrival drain tail would otherwise produce partial windows
+        # that corrupt the piecewise fit.
+        first = self.warmup_min
+        last = self.duration_min
+        for name, samples in self.own_latency.items():
+            for minute, latency in samples:
+                if first <= minute < last:
+                    store.record_latency(minute, name, latency)
+        for name, per_minute in self.calls_per_minute.items():
+            containers = max(self.containers.get(name, 1), 1)
+            for minute, calls in per_minute.items():
+                if first <= minute < last:
+                    store.record_calls(
+                        float(minute), name, float(calls), containers
+                    )
+        for minute in range(int(last) + 1):
+            store.record_utilization(
+                float(minute), host_id, cpu_utilization, memory_utilization
+            )
+        return store
+
+
+class ClusterSimulator:
+    """Simulates a fixed allocation serving several services.
+
+    Args:
+        services: Service specs (graph + SLA); arrival rates come from
+            ``rates`` so the same specs can be replayed at many workloads.
+        microservices: Ground-truth performance parameters by name.
+        containers: Containers per microservice (or per-container
+            multiplier lists via ``container_multipliers``).
+        rates: Per-service arrival rate (req/min), constant or callable.
+        config: Run configuration.
+        priorities: Per shared microservice, service priority ranks
+            (required when ``config.scheduling == "priority"``).
+        container_multipliers: Optional explicit per-container service-time
+            multipliers, e.g. derived from a placement via
+            :class:`~repro.simulator.interference.InterferenceModel`;
+            overrides ``containers`` counts for listed microservices.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[ServiceSpec],
+        microservices: Mapping[str, SimulatedMicroservice],
+        containers: Mapping[str, int],
+        rates: Mapping[str, RateSpec],
+        config: Optional[SimulationConfig] = None,
+        priorities: Optional[Mapping[str, Mapping[str, int]]] = None,
+        container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
+    ):
+        self.services = list(services)
+        self.config = config or SimulationConfig()
+        self.priorities = {k: dict(v) for k, v in (priorities or {}).items()}
+        self.rng = np.random.default_rng(self.config.seed)
+        self.events = EventQueue()
+        self.result = SimulationResult(
+            duration_min=self.config.duration_min,
+            warmup_min=self.config.warmup_min,
+        )
+        self._rates: Dict[str, RateSpec] = dict(rates)
+        self._arrivals_open = True
+
+        self._microservices: Dict[str, _MicroserviceState] = {}
+        needed = {
+            name for spec in self.services for name in spec.graph.microservices()
+        }
+        for name in sorted(needed):
+            if name not in microservices:
+                raise ValueError(f"no SimulatedMicroservice for {name!r}")
+            spec = microservices[name]
+            multipliers = None
+            if container_multipliers and name in container_multipliers:
+                multipliers = [
+                    m if callable(m) else float(m)
+                    for m in container_multipliers[name]
+                ]
+                if not multipliers:
+                    raise ValueError(
+                        f"container_multipliers for {name!r} is empty"
+                    )
+            else:
+                count = containers.get(name, 1)
+                if count < 1:
+                    raise ValueError(
+                        f"container count for {name!r} must be >= 1, got {count}"
+                    )
+                multipliers = [1.0] * count
+            container_objs = [
+                _Container(self._make_queue(name), spec.threads, multiplier)
+                for multiplier in multipliers
+            ]
+            self._microservices[name] = _MicroserviceState(spec, container_objs)
+            self.result.containers[name] = len(container_objs)
+
+    def _make_queue(self, microservice: str) -> QueuePolicy:
+        if self.config.scheduling == "priority":
+            ranks = self.priorities.get(microservice)
+            if ranks:
+                return PriorityQueuePolicy(
+                    ranks, delta=self.config.delta, rng=self.rng
+                )
+        return FCFSQueue()
+
+    # ------------------------------------------------------------------
+    # Dynamic scaling (used by the in-simulation autoscaling loop)
+    # ------------------------------------------------------------------
+    def container_count(self, microservice: str) -> int:
+        """Containers currently in rotation for one microservice."""
+        return len(self._microservices[microservice].containers)
+
+    def scale_container_count(
+        self,
+        microservice: str,
+        target: int,
+        startup_delay_ms: float = 0.0,
+        multiplier: float = 1.0,
+    ) -> None:
+        """Scale a microservice to ``target`` containers at runtime.
+
+        New containers join the rotation after ``startup_delay_ms`` (cold
+        start).  Removed containers leave the rotation immediately: their
+        queued jobs are redistributed and in-flight work finishes.  The
+        floor is one container.
+        """
+        if target < 1:
+            raise ValueError(f"target must be >= 1, got {target}")
+        state = self._microservices[microservice]
+        delta = target - len(state.containers)
+        for _ in range(max(delta, 0)):
+            container = _Container(
+                self._make_queue(microservice), state.spec.threads, multiplier
+            )
+
+            def _join(_t: float, c: _Container = container) -> None:
+                state.add(c)
+                self.result.containers[microservice] = len(state.containers)
+
+            if startup_delay_ms > 0:
+                self.events.schedule_in(startup_delay_ms, _join)
+            else:
+                _join(self.events.now)
+        for _ in range(max(-delta, 0)):
+            if len(state.containers) <= 1:
+                break
+            removed = state.remove_last()
+            while True:
+                job = removed.queue.pop()
+                if job is None:
+                    break
+                replacement = state.pick()
+                replacement.queue.push(job, job.service)
+                self._dispatch(state, replacement)
+        self.result.containers[microservice] = len(state.containers)
+
+    def inject_container_failure(
+        self, microservice: str, retry: bool = True
+    ) -> int:
+        """Kill one container (crash/OOM/node loss).
+
+        The container leaves the rotation immediately; requests already
+        being processed finish (connection-drain approximation).  With
+        ``retry`` (the default — microservice RPC clients retry), its
+        queued jobs are re-enqueued on surviving containers; without it
+        they are dropped and the affected requests never complete
+        (visible as ``generated > completed``).
+
+        Returns the number of queued jobs affected.  The last container
+        of a microservice cannot be killed.
+        """
+        state = self._microservices[microservice]
+        removed = state.remove_last()
+        affected = 0
+        while True:
+            job = removed.queue.pop()
+            if job is None:
+                break
+            affected += 1
+            if retry:
+                replacement = state.pick()
+                replacement.queue.push(job, job.service)
+                self._dispatch(state, replacement)
+        self.result.containers[microservice] = len(state.containers)
+        return affected
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Generate arrivals, process all events, return the result."""
+        duration_ms = self.config.duration_min * _MS_PER_MINUTE
+        for spec in self.services:
+            self.result.generated[spec.name] = 0
+            self.result.completed[spec.name] = 0
+            self.result.end_to_end[spec.name] = []
+            self._schedule_next_arrival(spec, 0.0, duration_ms)
+
+        self.events.run_until(duration_ms)
+        self._arrivals_open = False
+        if self.config.drain:
+            self.events.run_until(float("inf"))
+        return self.result
+
+    def _schedule_next_arrival(
+        self, spec: ServiceSpec, now: float, end_ms: float
+    ) -> None:
+        rate_spec = self._rates.get(spec.name, 0.0)
+        minute = now / _MS_PER_MINUTE
+        rate = rate_spec(minute) if callable(rate_spec) else float(rate_spec)
+        if rate <= 0.0:
+            # Re-probe one minute later (a dynamic rate may become positive).
+            if callable(rate_spec) and now + _MS_PER_MINUTE <= end_ms:
+                self.events.schedule(
+                    now + _MS_PER_MINUTE,
+                    lambda t, s=spec, e=end_ms: self._schedule_next_arrival(s, t, e),
+                )
+            return
+        gap = self.rng.exponential(_MS_PER_MINUTE / rate)
+        arrival = now + gap
+        if arrival > end_ms:
+            return
+
+        def _arrive(t: float, s: ServiceSpec = spec, e: float = end_ms) -> None:
+            self.result.generated[s.name] += 1
+            self._spawn_request(s, t)
+            self._schedule_next_arrival(s, t, e)
+
+        self.events.schedule(arrival, _arrive)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_request(self, spec: ServiceSpec, t: float) -> None:
+        def _done(finish: float) -> None:
+            minute = finish / _MS_PER_MINUTE
+            self.result.completed[spec.name] += 1
+            self.result.end_to_end[spec.name].append((minute, finish - t))
+
+        self._execute_node(spec.name, spec.graph.root, t, _done)
+
+    def _execute_node(
+        self,
+        service: str,
+        node: CallNode,
+        t: float,
+        done: Callable[[float], None],
+    ) -> None:
+        state = self._microservices[node.microservice]
+
+        def _processed(start: float, finish: float) -> None:
+            if self.config.record_own_latency:
+                minute = finish / _MS_PER_MINUTE
+                self.result.own_latency.setdefault(
+                    node.microservice, []
+                ).append((minute, finish - t))
+                per_minute = self.result.calls_per_minute.setdefault(
+                    node.microservice, {}
+                )
+                per_minute[int(minute)] = per_minute.get(int(minute), 0) + 1
+            self._run_stages(service, node, 0, finish, done)
+
+        container = state.pick()
+        job = _Job(service, node, t, _processed)
+        container.queue.push(job, service)
+        self._dispatch(state, container)
+
+    def _dispatch(self, state: _MicroserviceState, container: _Container) -> None:
+        while container.free_threads > 0 and len(container.queue) > 0:
+            job = container.queue.pop()
+            if job is None:
+                break
+            container.free_threads -= 1
+            mean = state.spec.base_service_ms * container.multiplier_at(
+                self.events.now
+            )
+            processing = self.rng.exponential(mean)
+            start = self.events.now
+
+            def _complete(
+                finish: float,
+                job_: "_Job" = job,
+                container_: _Container = container,
+                state_: _MicroserviceState = state,
+                start_: float = start,
+            ) -> None:
+                container_.free_threads += 1
+                job_.on_processed(start_, finish)
+                self._dispatch(state_, container_)
+
+            self.events.schedule_in(processing, _complete)
+
+    def _run_stages(
+        self,
+        service: str,
+        node: CallNode,
+        stage_index: int,
+        t: float,
+        done: Callable[[float], None],
+    ) -> None:
+        if stage_index >= len(node.stages):
+            done(t)
+            return
+        stage = node.stages[stage_index]
+        calls: List[CallNode] = []
+        for child in stage:
+            copies = max(1, int(round(child.calls_per_request)))
+            calls.extend([child] * copies)
+        pending = len(calls)
+        latest = t
+
+        def _child_done(finish: float) -> None:
+            nonlocal pending, latest
+            pending -= 1
+            latest = max(latest, finish)
+            if pending == 0:
+                self._run_stages(service, node, stage_index + 1, latest, done)
+
+        for child in calls:
+            self._execute_node(service, child, t, _child_done)

@@ -1,0 +1,34 @@
+"""Tracing substrate: span model, coordinator, and metrics store.
+
+Stands in for the paper's Jaeger + Prometheus deployment (§5.1).  Jaeger
+records two spans per call — a client span on the caller and a server span
+on the callee; Prometheus records OS-level utilization.  The *Tracing
+Coordinator* combines both: it reconstructs dependency graphs from span
+parent/child relations (marking calls whose client spans overlap as
+parallel), derives per-microservice latency via paper Eq. 1, and assembles
+per-minute profiling samples.
+"""
+
+from repro.tracing.spans import Span, SpanKind, TraceRecord, synthesize_trace
+from repro.tracing.coordinator import TracingCoordinator
+from repro.tracing.metrics import MetricsStore, UtilizationSample
+from repro.tracing.serialization import (
+    dump_traces,
+    load_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "Span",
+    "SpanKind",
+    "TraceRecord",
+    "synthesize_trace",
+    "TracingCoordinator",
+    "MetricsStore",
+    "UtilizationSample",
+    "dump_traces",
+    "load_traces",
+    "trace_from_dict",
+    "trace_to_dict",
+]

@@ -1,0 +1,213 @@
+"""The Tracing Coordinator (paper §3 ①, §5.1).
+
+Consumes recorded traces and produces the two artifacts Erms' other modules
+need:
+
+* **dependency graphs** — starting from the root span, an edge is added for
+  every call; calls whose client spans overlap in time are marked parallel
+  (same stage), otherwise sequential.  Graphs from many traces of the same
+  service are merged into a *complete* graph (§7, "Handling dynamic
+  dependencies").
+* **microservice latency** — paper Eq. 1: a microservice's own latency is
+  its server-span response time minus the response time of its downstream
+  calls, subtracting the full duration of each sequential stage but only
+  the maximum within a parallel stage.
+
+A 10 % sampling rate (Jaeger's default in the paper) is applied on ingest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs import CallNode, DependencyGraph
+from repro.tracing.spans import Span, SpanKind, TraceRecord
+
+
+def group_parallel(client_spans: Sequence[Span]) -> List[List[Span]]:
+    """Partition a microservice's outgoing calls into stages.
+
+    Client spans are sorted by start time; a span joins the current stage
+    if it overlaps the stage's running time window (the paper marks calls
+    whose client spans overlap existing calls as parallel), otherwise it
+    opens a new sequential stage.
+    """
+    stages: List[List[Span]] = []
+    window_end = float("-inf")
+    for span in sorted(client_spans, key=lambda s: (s.start, s.span_id)):
+        if stages and span.start < window_end:
+            stages[-1].append(span)
+        else:
+            stages.append([span])
+        window_end = max(window_end, span.end)
+    return stages
+
+
+@dataclass
+class TracingCoordinator:
+    """Collects traces and extracts graphs and latencies.
+
+    Attributes:
+        sampling_rate: Fraction of offered traces that are kept (Jaeger
+            samples 10 % in the paper).  ``1.0`` keeps everything — tests
+            and deterministic pipelines use that.
+        seed: Seed for the sampling decision stream.
+    """
+
+    sampling_rate: float = 1.0
+    seed: int = 0
+    traces: Dict[str, List[TraceRecord]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise ValueError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def offer(self, trace: TraceRecord) -> bool:
+        """Offer a trace for collection; returns True when sampled in."""
+        if self.sampling_rate < 1.0 and self._rng.random() >= self.sampling_rate:
+            return False
+        self.traces.setdefault(trace.service, []).append(trace)
+        return True
+
+    def trace_count(self, service: Optional[str] = None) -> int:
+        if service is not None:
+            return len(self.traces.get(service, []))
+        return sum(len(ts) for ts in self.traces.values())
+
+    # ------------------------------------------------------------------
+    # Graph extraction
+    # ------------------------------------------------------------------
+    def extract_graph(self, service: str) -> DependencyGraph:
+        """Reconstruct the (merged) dependency graph of one service."""
+        records = self.traces.get(service)
+        if not records:
+            raise ValueError(f"no traces recorded for service {service!r}")
+        merged: Optional[CallNode] = None
+        for record in records:
+            root = self._build_call_tree(record, record.root())
+            if merged is None:
+                merged = root
+            else:
+                _merge_call_trees(merged, root)
+        assert merged is not None
+        return DependencyGraph(service=service, root=merged)
+
+    def _build_call_tree(self, record: TraceRecord, server_span: Span) -> CallNode:
+        node = CallNode(server_span.microservice)
+        client_children = [
+            s
+            for s in record.children_of(server_span)
+            if s.kind is SpanKind.CLIENT
+        ]
+        for stage in group_parallel(client_children):
+            stage_nodes: List[CallNode] = []
+            for client_span in stage:
+                server_children = [
+                    s
+                    for s in record.children_of(client_span)
+                    if s.kind is SpanKind.SERVER
+                ]
+                for child_server in server_children:
+                    stage_nodes.append(self._build_call_tree(record, child_server))
+            if stage_nodes:
+                node.stages.append(stage_nodes)
+        return node
+
+    # ------------------------------------------------------------------
+    # Latency extraction (paper Eq. 1)
+    # ------------------------------------------------------------------
+    def microservice_latencies(self, trace: TraceRecord) -> Dict[str, List[float]]:
+        """Own latency of every microservice occurrence in one trace.
+
+        For each server span: response time minus the summed per-stage
+        downstream response times (max within each parallel stage).  The
+        residual includes queueing, processing, and transmission, exactly
+        the quantity Erms profiles.
+        """
+        latencies: Dict[str, List[float]] = {}
+        for span in trace.server_spans():
+            client_children = [
+                s
+                for s in trace.children_of(span)
+                if s.kind is SpanKind.CLIENT
+            ]
+            downstream = sum(
+                max(self._server_duration(trace, s) for s in stage)
+                for stage in group_parallel(client_children)
+            )
+            own = span.duration - downstream
+            latencies.setdefault(span.microservice, []).append(max(own, 0.0))
+        return latencies
+
+    @staticmethod
+    def _server_duration(trace: TraceRecord, client_span: Span) -> float:
+        """Server-side response time (S_d − R_d) of a client span's call.
+
+        Eq. 1 subtracts the *server* span duration, so the caller's own
+        latency keeps the transmission time — the paper notes L_i includes
+        it.  Falls back to the client duration when the server span was
+        lost (e.g. sampling).
+        """
+        servers = [
+            s
+            for s in trace.children_of(client_span)
+            if s.kind is SpanKind.SERVER
+        ]
+        if not servers:
+            return client_span.duration
+        return max(s.duration for s in servers)
+
+    def latency_samples(self, service: str) -> Dict[str, List[float]]:
+        """Pooled own-latency samples per microservice across all traces."""
+        pooled: Dict[str, List[float]] = {}
+        for record in self.traces.get(service, []):
+            for name, values in self.microservice_latencies(record).items():
+                pooled.setdefault(name, []).extend(values)
+        return pooled
+
+    def tail_latency(
+        self, service: str, microservice: str, percentile: float = 95.0
+    ) -> float:
+        """Tail (default P95) own latency of one microservice."""
+        samples = self.latency_samples(service).get(microservice)
+        if not samples:
+            raise ValueError(
+                f"no latency samples for {microservice!r} in service {service!r}"
+            )
+        return float(np.percentile(samples, percentile))
+
+    def end_to_end_latencies(self, service: str) -> List[float]:
+        """End-to-end latency of every collected trace of a service."""
+        return [t.end_to_end_latency() for t in self.traces.get(service, [])]
+
+
+def _merge_call_trees(target: CallNode, other: CallNode) -> None:
+    """Union ``other``'s call structure into ``target`` (paper §7).
+
+    Children are matched by microservice name within corresponding stages;
+    unmatched children of ``other`` are appended — to an existing stage when
+    the stage index exists, as a new stage otherwise.  The merged graph
+    over-approximates each individual trace, which is the paper's stated
+    over-provisioning behaviour for dynamic graphs.
+    """
+    for index, stage in enumerate(other.stages):
+        if index >= len(target.stages):
+            target.stages.append([])
+        target_stage = target.stages[index]
+        by_name = {child.microservice: child for child in target_stage}
+        for child in stage:
+            existing = by_name.get(child.microservice)
+            if existing is None:
+                target_stage.append(child)
+                by_name[child.microservice] = child
+            else:
+                _merge_call_trees(existing, child)

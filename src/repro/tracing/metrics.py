@@ -1,0 +1,161 @@
+"""Prometheus-like metrics store (paper §5.1, §5.2).
+
+Prometheus supplies the OS-level half of Erms' telemetry: CPU and memory
+utilization per host, and call counts per deployed container.  Erms'
+offline profiler joins these with Jaeger latencies at one-minute windows to
+form samples :math:`d_i^j = (L_i^j, \\gamma_i^j, C_i^j, M_i^j)` (Eq. 15's
+training data).  This module provides that windowed join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One host utilization observation."""
+
+    timestamp: float  # minutes since epoch
+    host_id: str
+    cpu: float  # fraction in [0, 1+]
+    memory: float  # fraction in [0, 1+]
+
+
+@dataclass(frozen=True)
+class CallCountSample:
+    """Calls processed by one microservice's containers in one window."""
+
+    timestamp: float
+    microservice: str
+    calls: float
+    containers: int
+
+
+@dataclass(frozen=True)
+class LatencyObservation:
+    """One own-latency observation of a microservice."""
+
+    timestamp: float
+    microservice: str
+    latency: float
+
+
+@dataclass(frozen=True)
+class ProfilingWindow:
+    """One per-minute joined sample: the paper's d_i^j.
+
+    Attributes:
+        microservice: Microservice name.
+        minute: Window index (floor of the timestamp).
+        tail_latency: P95 of latency observations in the window (ms).
+        per_container_load: Calls per container in the window.
+        cpu_utilization: Mean host CPU utilization in the window.
+        memory_utilization: Mean host memory utilization in the window.
+    """
+
+    microservice: str
+    minute: int
+    tail_latency: float
+    per_container_load: float
+    cpu_utilization: float
+    memory_utilization: float
+
+
+@dataclass
+class MetricsStore:
+    """Collects utilization, call-count, and latency time series."""
+
+    utilization: List[UtilizationSample] = field(default_factory=list)
+    call_counts: List[CallCountSample] = field(default_factory=list)
+    latencies: List[LatencyObservation] = field(default_factory=list)
+
+    def record_utilization(
+        self, timestamp: float, host_id: str, cpu: float, memory: float
+    ) -> None:
+        self.utilization.append(UtilizationSample(timestamp, host_id, cpu, memory))
+
+    def record_calls(
+        self, timestamp: float, microservice: str, calls: float, containers: int
+    ) -> None:
+        if containers < 1:
+            raise ValueError(f"containers must be >= 1, got {containers}")
+        self.call_counts.append(
+            CallCountSample(timestamp, microservice, calls, containers)
+        )
+
+    def record_latency(
+        self, timestamp: float, microservice: str, latency: float
+    ) -> None:
+        self.latencies.append(LatencyObservation(timestamp, microservice, latency))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def mean_utilization(
+        self, window: Optional[Tuple[float, float]] = None
+    ) -> Tuple[float, float]:
+        """Cluster-average (cpu, memory) utilization, optionally windowed."""
+        samples = self.utilization
+        if window is not None:
+            lo, hi = window
+            samples = [s for s in samples if lo <= s.timestamp < hi]
+        if not samples:
+            return 0.0, 0.0
+        cpu = float(np.mean([s.cpu for s in samples]))
+        mem = float(np.mean([s.memory for s in samples]))
+        return cpu, mem
+
+    def profiling_windows(
+        self, microservice: str, percentile: float = 95.0
+    ) -> List[ProfilingWindow]:
+        """Join the three series into per-minute profiling samples.
+
+        Windows lacking either latency observations or call counts are
+        skipped — the profiler needs both coordinates.
+        """
+        latency_by_minute: Dict[int, List[float]] = {}
+        for obs in self.latencies:
+            if obs.microservice == microservice:
+                latency_by_minute.setdefault(int(obs.timestamp), []).append(
+                    obs.latency
+                )
+        calls_by_minute: Dict[int, Tuple[float, int]] = {}
+        for sample in self.call_counts:
+            if sample.microservice == microservice:
+                minute = int(sample.timestamp)
+                calls, containers = calls_by_minute.get(minute, (0.0, 1))
+                calls_by_minute[minute] = (
+                    calls + sample.calls,
+                    max(containers, sample.containers),
+                )
+        util_by_minute: Dict[int, List[Tuple[float, float]]] = {}
+        for sample in self.utilization:
+            util_by_minute.setdefault(int(sample.timestamp), []).append(
+                (sample.cpu, sample.memory)
+            )
+
+        windows: List[ProfilingWindow] = []
+        for minute in sorted(latency_by_minute):
+            if minute not in calls_by_minute:
+                continue
+            calls, containers = calls_by_minute[minute]
+            utils = util_by_minute.get(minute, [])
+            cpu = float(np.mean([u[0] for u in utils])) if utils else 0.0
+            mem = float(np.mean([u[1] for u in utils])) if utils else 0.0
+            windows.append(
+                ProfilingWindow(
+                    microservice=microservice,
+                    minute=minute,
+                    tail_latency=float(
+                        np.percentile(latency_by_minute[minute], percentile)
+                    ),
+                    per_container_load=calls / containers,
+                    cpu_utilization=cpu,
+                    memory_utilization=mem,
+                )
+            )
+        return windows

@@ -1,0 +1,97 @@
+"""Span serialization: Jaeger-compatible-ish JSON export/import.
+
+Lets traces collected by the simulator (or synthesized) be saved to disk
+and replayed into a :class:`~repro.tracing.coordinator.TracingCoordinator`
+later — the offline-profiling workflow of the paper's artifact, where a
+day of traces is collected first and fitted afterwards.
+
+The schema loosely follows Jaeger's JSON export: a trace carries a
+``traceID``, a ``serviceName`` and a list of spans with ``spanID``,
+``references`` (CHILD_OF), ``startTime`` and ``duration`` (microseconds,
+as in Jaeger), plus a ``kind`` tag.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.tracing.spans import Span, SpanKind, TraceRecord
+
+_US_PER_MS = 1000.0
+
+
+def trace_to_dict(trace: TraceRecord) -> Dict:
+    """One trace as a JSON-ready dict (timestamps in microseconds)."""
+    spans: List[Dict] = []
+    for span in trace.spans:
+        references = []
+        if span.parent_id is not None:
+            references.append(
+                {"refType": "CHILD_OF", "spanID": span.parent_id}
+            )
+        spans.append(
+            {
+                "spanID": span.span_id,
+                "references": references,
+                "processServiceName": span.microservice,
+                "startTime": round(span.start * _US_PER_MS),
+                "duration": round(span.duration * _US_PER_MS),
+                "tags": [{"key": "span.kind", "value": span.kind.value}],
+            }
+        )
+    return {
+        "traceID": trace.trace_id,
+        "serviceName": trace.service,
+        "spans": spans,
+    }
+
+
+def trace_from_dict(payload: Dict) -> TraceRecord:
+    """Rebuild a :class:`TraceRecord` from :func:`trace_to_dict` output."""
+    spans = []
+    for item in payload["spans"]:
+        references = item.get("references", [])
+        parent_id = references[0]["spanID"] if references else None
+        kind = SpanKind.SERVER
+        for tag in item.get("tags", []):
+            if tag.get("key") == "span.kind":
+                kind = SpanKind(tag["value"])
+        start = item["startTime"] / _US_PER_MS
+        spans.append(
+            Span(
+                span_id=item["spanID"],
+                parent_id=parent_id,
+                microservice=item["processServiceName"],
+                kind=kind,
+                start=start,
+                end=start + item["duration"] / _US_PER_MS,
+            )
+        )
+    return TraceRecord(
+        trace_id=payload["traceID"],
+        service=payload["serviceName"],
+        spans=spans,
+    )
+
+
+def dump_traces(traces: Iterable[TraceRecord], path: str) -> int:
+    """Write traces as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for trace in traces:
+            handle.write(json.dumps(trace_to_dict(trace)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_traces(path: str) -> List[TraceRecord]:
+    """Read JSON-lines traces written by :func:`dump_traces`."""
+    traces = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                traces.append(trace_from_dict(json.loads(line)))
+    return traces

@@ -1,0 +1,170 @@
+"""Span data model and trace synthesis.
+
+Following Jaeger's model as described in paper §5.1, every call between a
+pair of microservices produces two spans:
+
+* a CLIENT span on the caller — from the client sending the request (SEND)
+  to the client receiving the response (RECEIVE);
+* a SERVER span on the callee — from the server receiving the request to it
+  sending the response back.
+
+The root of a trace is a SERVER span with no parent (the entering
+microservice receiving the user request).  A CLIENT span's parent is the
+caller's SERVER span; a SERVER span's parent is the corresponding CLIENT
+span.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Mapping, Optional
+
+from repro.graphs import CallNode, DependencyGraph
+
+
+class SpanKind(Enum):
+    """Which side of a call this span was recorded on."""
+
+    CLIENT = "client"
+    SERVER = "server"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded span.
+
+    Attributes:
+        span_id: Unique id within the trace.
+        parent_id: Parent span id, or None for the trace root.
+        microservice: The microservice this span was recorded on.
+        kind: CLIENT or SERVER.
+        start: RECEIVE (server) or SEND (client) timestamp, milliseconds.
+        end: SEND (server) or RECEIVE (client) timestamp, milliseconds.
+    """
+
+    span_id: str
+    parent_id: Optional[str]
+    microservice: str
+    kind: SpanKind
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.span_id}: end {self.end} before start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Response time covered by this span (ms)."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when the two spans' time intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class TraceRecord:
+    """All spans of one end-to-end request."""
+
+    trace_id: str
+    service: str
+    spans: List[Span] = field(default_factory=list)
+
+    def root(self) -> Span:
+        """The entering microservice's SERVER span."""
+        roots = [s for s in self.spans if s.parent_id is None]
+        if len(roots) != 1:
+            raise ValueError(
+                f"trace {self.trace_id}: expected exactly 1 root span, "
+                f"found {len(roots)}"
+            )
+        return roots[0]
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct child spans, ordered by start time."""
+        children = [s for s in self.spans if s.parent_id == span.span_id]
+        return sorted(children, key=lambda s: (s.start, s.span_id))
+
+    def end_to_end_latency(self) -> float:
+        """Duration of the root server span."""
+        return self.root().duration
+
+    def server_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.kind is SpanKind.SERVER]
+
+
+def synthesize_trace(
+    graph: DependencyGraph,
+    latencies: Mapping[str, float],
+    trace_id: str = "trace-0",
+    start: float = 0.0,
+    network_delay: float = 0.0,
+) -> TraceRecord:
+    """Generate the spans a tracing system would record for one request.
+
+    Each microservice's *own* latency (queueing + processing, paper Fig. 1)
+    is split around its downstream stages: half before issuing calls, half
+    after the last stage returns.  Calls within a stage start simultaneously
+    (their client spans overlap); stages are strictly sequential.
+
+    Args:
+        graph: The service's dependency graph.
+        latencies: Own latency per microservice name (ms).
+        trace_id: Identifier for the produced trace.
+        start: Timestamp of the user request arriving at the root (ms).
+        network_delay: One-way transmission delay added around each call.
+
+    Returns:
+        A :class:`TraceRecord` whose structure round-trips through
+        :class:`~repro.tracing.coordinator.TracingCoordinator`.
+    """
+    spans: List[Span] = []
+    counter = itertools.count()
+
+    def _next_id() -> str:
+        return f"{trace_id}-s{next(counter)}"
+
+    def _emit(node: CallNode, arrival: float, parent_id: Optional[str]) -> Span:
+        own = latencies[node.microservice]
+        pre = own / 2.0
+        post = own - pre
+        server_id = _next_id()
+        cursor = arrival + pre
+        for stage in node.stages:
+            stage_end = cursor
+            for child in stage:
+                client_id = _next_id()
+                child_server = _emit(
+                    child, cursor + network_delay, client_id
+                )
+                client_end = child_server.end + network_delay
+                spans.append(
+                    Span(
+                        span_id=client_id,
+                        parent_id=server_id,
+                        microservice=node.microservice,
+                        kind=SpanKind.CLIENT,
+                        start=cursor,
+                        end=client_end,
+                    )
+                )
+                stage_end = max(stage_end, client_end)
+            cursor = stage_end
+        server_span = Span(
+            span_id=server_id,
+            parent_id=parent_id,
+            microservice=node.microservice,
+            kind=SpanKind.SERVER,
+            start=arrival,
+            end=cursor + post,
+        )
+        spans.append(server_span)
+        return server_span
+
+    _emit(graph.root, start, None)
+    return TraceRecord(trace_id=trace_id, service=graph.service, spans=spans)

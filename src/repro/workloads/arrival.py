@@ -1,0 +1,106 @@
+"""Arrival-rate processes.
+
+All processes are callables ``rate(minute) -> requests/minute`` so they can
+be handed directly to :class:`~repro.simulator.simulation.ClusterSimulator`
+or sampled per scaling round by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StaticRate:
+    """Constant workload (the paper's static settings, 600–100 000 req/min)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be non-negative, got {self.rate}")
+
+    def __call__(self, minute: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class SteppedRate:
+    """Piecewise-constant workload: a list of (start_minute, rate) steps."""
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("steps must be non-empty")
+        starts = [start for start, _ in self.steps]
+        if starts != sorted(starts):
+            raise ValueError("step start times must be non-decreasing")
+
+    def __call__(self, minute: float) -> float:
+        rate = self.steps[0][1]
+        for start, value in self.steps:
+            if minute >= start:
+                rate = value
+            else:
+                break
+        return rate
+
+
+@dataclass
+class DiurnalRate:
+    """Alibaba-like diurnal workload: sinusoid plus smooth noise.
+
+    rate(t) = base · (1 + amplitude·sin(2πt/period + phase)) · noise(t),
+    floored at zero.  Noise is a fixed per-minute log-normal sequence so
+    the process is deterministic for a given seed.
+    """
+
+    base: float
+    amplitude: float = 0.5
+    period_min: float = 1440.0
+    phase: float = -math.pi / 2.0  # trough at t=0, peak mid-period
+    noise_sigma: float = 0.05
+    seed: int = 0
+    horizon_min: int = 2880
+    _noise: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"base must be positive, got {self.base}")
+        if not 0 <= self.amplitude <= 1:
+            raise ValueError(f"amplitude must be in [0, 1], got {self.amplitude}")
+        rng = np.random.default_rng(self.seed)
+        self._noise = rng.lognormal(0.0, self.noise_sigma, size=self.horizon_min)
+
+    def __call__(self, minute: float) -> float:
+        wave = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * minute / self.period_min + self.phase
+        )
+        noise = self._noise[int(minute) % len(self._noise)]
+        return max(self.base * wave * noise, 0.0)
+
+
+@dataclass(frozen=True)
+class TraceRate:
+    """Replay of a recorded per-minute rate series (held flat per minute)."""
+
+    series: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError("series must be non-empty")
+        if any(value < 0 for value in self.series):
+            raise ValueError("rates must be non-negative")
+
+    def __call__(self, minute: float) -> float:
+        index = min(int(minute), len(self.series) - 1)
+        return self.series[index]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TraceRate":
+        return cls(tuple(float(v) for v in samples))

@@ -1,0 +1,71 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core import (
+    ContainerSpec,
+    LatencySegment,
+    MicroserviceProfile,
+    PiecewiseLatencyModel,
+    ServiceSpec,
+)
+from repro.graphs import DependencyGraph, call
+
+
+def make_profile(
+    name: str,
+    slope: float,
+    intercept: float,
+    resource: float = 1.0,
+    cutoff: float = 50.0,
+    low_slope_ratio: float = 0.3,
+) -> MicroserviceProfile:
+    """A realistic two-segment profile.
+
+    The low segment shares the intercept but has a gentler slope (latency
+    nearly flat before the cut-off, paper Fig. 3); the high segment is the
+    steep post-cutoff line.
+    """
+    return MicroserviceProfile(
+        name=name,
+        model=PiecewiseLatencyModel(
+            low=LatencySegment(slope * low_slope_ratio, intercept),
+            high=LatencySegment(slope, intercept),
+            cutoff=cutoff,
+        ),
+        resource_demand=resource,
+        container=ContainerSpec(cpu=0.1, memory_mb=200.0),
+    )
+
+
+def make_profiles(
+    entries: Iterable[Tuple[str, float, float]]
+) -> Dict[str, MicroserviceProfile]:
+    """Profiles from (name, slope, intercept) triples."""
+    return {name: make_profile(name, a, b) for name, a, b in entries}
+
+
+def fig1_graph() -> DependencyGraph:
+    """The dependency graph of paper Fig. 1: T -> (Url || U) -> C."""
+    return DependencyGraph(
+        service="fig1",
+        root=call("T", stages=[[call("Url"), call("U")], [call("C")]]),
+    )
+
+
+def chain_graph(names: Iterable[str], service: str = "chain") -> DependencyGraph:
+    """A purely sequential graph: each microservice calls the next."""
+    names = list(names)
+    node = call(names[-1])
+    for name in reversed(names[:-1]):
+        node = call(name, stages=[[node]])
+    return DependencyGraph(service=service, root=node)
+
+
+def fig1_service(workload: float = 2000.0, sla: float = 200.0) -> ServiceSpec:
+    return ServiceSpec("fig1", fig1_graph(), workload=workload, sla=sla)
+
+
+FIG1_PARAMS = [("T", 0.5, 2.0), ("Url", 1.0, 3.0), ("U", 2.0, 4.0), ("C", 0.8, 1.0)]

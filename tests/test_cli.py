@@ -1,0 +1,63 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_defaults(self):
+        args = build_parser().parse_args(["scale"])
+        assert args.app == "social-network"
+        assert args.scheme == "erms"
+
+    def test_compare_accepts_lists(self):
+        args = build_parser().parse_args(
+            ["compare", "--workloads", "1000", "2000", "--slas", "150"]
+        )
+        assert args.workloads == [1000.0, 2000.0]
+        assert args.slas == [150.0]
+
+
+class TestCommands:
+    def test_scale_prints_allocation(self, capsys):
+        assert main(["scale", "--app", "hotel-reservation",
+                     "--workload", "5000", "--sla", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "Total containers:" in out
+        assert "Priorities" in out  # hotel shares microservices
+
+    def test_scale_each_scheme(self, capsys):
+        for scheme in ("erms", "erms-fcfs", "grandslam", "rhythm", "firm"):
+            assert main(["scale", "--scheme", scheme,
+                         "--app", "hotel-reservation",
+                         "--workload", "2000"]) == 0
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["scale", "--scheme", "magic"])
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["scale", "--app", "nope"])
+
+    def test_simulate_reports_latency(self, capsys):
+        assert main(["simulate", "--app", "hotel-reservation",
+                     "--workload", "2000", "--duration", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "p95_ms" in out
+
+    def test_compare_runs_sweep(self, capsys):
+        assert main(["compare", "--app", "hotel-reservation",
+                     "--workloads", "2000", "--slas", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "erms" in out and "grandslam" in out
+
+    def test_trace_sim(self, capsys):
+        assert main(["trace-sim", "--services", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fewer containers" in out

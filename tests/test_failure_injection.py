@@ -1,0 +1,103 @@
+"""Failure-injection tests: container crashes and system recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErmsScaler, ServiceSpec
+from repro.graphs import DependencyGraph, call
+from repro.simulator import (
+    AutoscaleConfig,
+    AutoscaledSimulation,
+    ClusterSimulator,
+    SimulatedMicroservice,
+    SimulationConfig,
+)
+from repro.workloads import StaticRate, analytic_profile
+
+
+def make_simulator(containers=3, rate=10_000.0, duration=1.0, seed=1):
+    spec = ServiceSpec("svc", DependencyGraph("svc", call("B")), 0.0, 1e9)
+    return ClusterSimulator(
+        [spec],
+        {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=2)},
+        containers={"B": containers},
+        rates={"svc": rate},
+        config=SimulationConfig(
+            duration_min=duration, warmup_min=0.0, seed=seed
+        ),
+    )
+
+
+class TestContainerFailure:
+    def test_failure_reduces_rotation(self):
+        sim = make_simulator(containers=3)
+        assert sim.inject_container_failure("B") >= 0
+        assert sim.container_count("B") == 2
+
+    def test_last_container_protected(self):
+        sim = make_simulator(containers=1)
+        with pytest.raises(ValueError, match="last container"):
+            sim.inject_container_failure("B")
+
+    def test_retried_jobs_all_complete(self):
+        sim = make_simulator(containers=3, rate=20_000.0)
+        sim.events.schedule(20_000.0, lambda t: sim.inject_container_failure("B"))
+        sim.events.schedule(40_000.0, lambda t: sim.inject_container_failure("B"))
+        result = sim.run()
+        assert result.completed["svc"] == result.generated["svc"]
+
+    def test_dropped_jobs_never_complete(self):
+        # Saturate one container so queues are non-empty when it dies.
+        sim = make_simulator(containers=2, rate=45_000.0)
+        dropped = []
+        sim.events.schedule(
+            30_000.0,
+            lambda t: dropped.append(
+                sim.inject_container_failure("B", retry=False)
+            ),
+        )
+        result = sim.run()
+        assert dropped[0] > 0
+        assert (
+            result.generated["svc"] - result.completed["svc"] == dropped[0]
+        )
+
+    def test_failure_raises_latency(self):
+        calm = make_simulator(containers=3, rate=25_000.0, duration=2.0).run()
+        degraded_sim = make_simulator(containers=3, rate=25_000.0, duration=2.0)
+        degraded_sim.events.schedule(
+            30_000.0, lambda t: degraded_sim.inject_container_failure("B")
+        )
+        degraded = degraded_sim.run()
+        assert degraded.tail_latency("svc") > calm.tail_latency("svc")
+
+
+class TestAutoscalerRecovery:
+    def test_control_loop_replaces_failed_containers(self):
+        """The autoscaler restores capacity after a crash."""
+        spec = ServiceSpec(
+            "svc", DependencyGraph("svc", call("B")), workload=0.0, sla=200.0
+        )
+        simulated = {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=2)}
+        profiles = {"B": analytic_profile("B", 5.0, 2)}
+        sim = AutoscaledSimulation(
+            [spec],
+            simulated,
+            ErmsScaler(),
+            profiles,
+            rates={"svc": StaticRate(30_000.0)},
+            config=SimulationConfig(duration_min=4.0, warmup_min=0.0, seed=3),
+            autoscale=AutoscaleConfig(interval_min=1.0, startup_delay_ms=500.0),
+        )
+        baseline = sim.simulator.container_count("B")
+        assert baseline >= 2
+        # Kill a container mid-run; the next control period must restore it.
+        sim.simulator.events.schedule(
+            90_000.0, lambda t: sim.simulator.inject_container_failure("B")
+        )
+        result = sim.run()
+        assert sim.simulator.container_count("B") >= baseline
+        assert (
+            result.simulation.completed["svc"]
+            == result.simulation.generated["svc"]
+        )

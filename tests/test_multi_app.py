@@ -1,0 +1,58 @@
+"""Cross-application integration: several apps managed as one cluster."""
+
+import pytest
+
+from repro.core import Cluster, ErmsScaler
+from repro.core.controller import ErmsController
+from repro.core.multiplexing import shared_microservices
+from repro.workloads import hotel_reservation, media_service, social_network
+
+
+class TestMultiApplicationScaling:
+    def test_apps_have_disjoint_microservices(self):
+        """Namespaces don't collide, so apps can be co-managed."""
+        apps = [social_network(), media_service(), hotel_reservation()]
+        seen = set()
+        for app in apps:
+            names = set(app.microservices())
+            assert not (seen & names)
+            seen |= names
+
+    def test_scale_all_apps_together(self):
+        apps = [social_network(), media_service(), hotel_reservation()]
+        specs = []
+        profiles = {}
+        for app in apps:
+            specs.extend(
+                app.with_workloads({s.name: 8_000.0 for s in app.services})
+            )
+            profiles.update(app.analytic_profiles())
+        allocation = ErmsScaler().scale(specs, profiles)
+        assert set(allocation.containers) == set(profiles)
+        # Sharing stays within each app.
+        shared = shared_microservices(specs)
+        for name in shared:
+            owners = {
+                app.name for app in apps if name in app.microservices()
+            }
+            assert len(owners) == 1
+
+    def test_controller_manages_all_apps_on_one_cluster(self):
+        apps = [social_network(), hotel_reservation()]
+        specs = []
+        sources = {}
+        for app in apps:
+            specs.extend(app.services)
+            sources.update(app.analytic_profiles())
+        controller = ErmsController(
+            specs=specs,
+            cluster=Cluster.homogeneous(10),
+            profile_source=sources,
+            startup_seconds=1.0,
+        )
+        report = controller.reconcile(
+            {spec.name: 6_000.0 for spec in specs}
+        )
+        assert report.total_containers() == controller.total_pods()
+        controller.tick(1.5)
+        assert sum(controller.serving_containers().values()) == controller.total_pods()

@@ -1,0 +1,105 @@
+"""Tests for the from-scratch GBRT and MLP profiling baselines."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    GradientBoostedTrees,
+    MLPRegressor,
+    SyntheticMicroservice,
+    accuracy_score,
+    generate_synthetic_day,
+)
+
+
+def regression_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 3))
+    y = 3.0 * x[:, 0] + np.sin(4 * x[:, 1]) + 0.5 * x[:, 2] ** 2 + 2.0
+    return x, y
+
+
+class TestGradientBoostedTrees:
+    def test_fits_nonlinear_function(self):
+        x, y = regression_problem()
+        model = GradientBoostedTrees(n_estimators=150, max_depth=3).fit(x, y)
+        predictions = model.predict(x)
+        assert accuracy_score(y, predictions) > 0.95
+
+    def test_generalizes(self):
+        x, y = regression_problem(n=600)
+        x_test, y_test = regression_problem(n=200, seed=9)
+        model = GradientBoostedTrees(n_estimators=150).fit(x, y)
+        assert accuracy_score(y_test, model.predict(x_test)) > 0.9
+
+    def test_more_rounds_reduce_train_error(self):
+        x, y = regression_problem()
+        small = GradientBoostedTrees(n_estimators=5).fit(x, y)
+        large = GradientBoostedTrees(n_estimators=100).fit(x, y)
+        err_small = float(np.mean((small.predict(x) - y) ** 2))
+        err_large = float(np.mean((large.predict(x) - y) ** 2))
+        assert err_large < err_small
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GradientBoostedTrees().predict(np.zeros((1, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+
+    def test_profiles_synthetic_microservice(self):
+        data = generate_synthetic_day(SyntheticMicroservice(), noise=0.03, seed=5)
+        train, test = data.split(22 / 24)
+        model = GradientBoostedTrees(n_estimators=120).fit(
+            train.features(), train.latencies
+        )
+        predictions = model.predict(test.features())
+        assert accuracy_score(test.latencies, predictions) > 0.7
+
+
+class TestMLPRegressor:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(500, 2))
+        y = 2.0 * x[:, 0] - x[:, 1] + 3.0
+        model = MLPRegressor(epochs=100, seed=0).fit(x, y)
+        predictions = model.predict(x)
+        rmse = float(np.sqrt(np.mean((predictions - y) ** 2)))
+        assert rmse < 0.2
+
+    def test_fits_nonlinear_function(self):
+        x, y = regression_problem()
+        model = MLPRegressor(epochs=300, seed=1).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.9
+
+    def test_deterministic_given_seed(self):
+        x, y = regression_problem(n=100)
+        a = MLPRegressor(epochs=20, seed=7).fit(x, y).predict(x)
+        b = MLPRegressor(epochs=20, seed=7).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError, match="hidden"):
+            MLPRegressor(hidden=0)
+
+    def test_degrades_with_few_samples(self):
+        """The Fig. 10b effect: the NN needs data; tiny sets hurt it."""
+        data = generate_synthetic_day(SyntheticMicroservice(), noise=0.03, seed=6)
+        train, test = data.split(22 / 24)
+        tiny = train.subsample(0.05, seed=0)
+        full_model = MLPRegressor(epochs=150, seed=2).fit(
+            train.features(), train.latencies
+        )
+        tiny_model = MLPRegressor(epochs=150, seed=2).fit(
+            tiny.features(), tiny.latencies
+        )
+        full_acc = accuracy_score(test.latencies, full_model.predict(test.features()))
+        tiny_acc = accuracy_score(test.latencies, tiny_model.predict(test.features()))
+        assert tiny_acc < full_acc

@@ -1,0 +1,232 @@
+"""Cross-module property-based tests of system invariants.
+
+These pin down behaviours the unit tests only sample:
+
+* the scaling pipeline always produces allocations that meet the SLA
+  under its own model, for random graphs/profiles/workloads;
+* `best_effort_containers` is monotone (tighter targets or more workload
+  never mean fewer containers) and regime-consistent;
+* the simulator conserves requests and respects latency lower bounds;
+* graph clustering always partitions variants and preserves weight mass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LatencySegment,
+    MicroserviceProfile,
+    PiecewiseLatencyModel,
+    ServiceSpec,
+    compute_service_targets,
+    predicted_end_to_end,
+)
+from repro.core.model import best_effort_containers
+from repro.graphs import CallNode, DependencyGraph
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def piecewise_models(draw):
+    base = draw(st.floats(min_value=0.5, max_value=20.0))
+    cutoff = draw(st.floats(min_value=50.0, max_value=5_000.0))
+    low_slope = base * draw(st.floats(min_value=0.1, max_value=1.0)) / cutoff
+    steepness = draw(st.floats(min_value=2.0, max_value=15.0))
+    high_slope = low_slope * steepness
+    knee = low_slope * cutoff + 2.0 * base  # continuous at the cutoff
+    return PiecewiseLatencyModel(
+        low=LatencySegment(low_slope, 2.0 * base),
+        high=LatencySegment(high_slope, knee - high_slope * cutoff),
+        cutoff=cutoff,
+        max_load=1.3 * cutoff,
+    )
+
+
+@st.composite
+def random_services(draw, max_nodes=8):
+    """A random call tree plus consistent profiles."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    names = [f"m{i}" for i in range(n)]
+    nodes = [CallNode(names[0])]
+    for name in names[1:]:
+        parent = nodes[draw(st.integers(0, len(nodes) - 1))]
+        child = CallNode(name)
+        if parent.stages and draw(st.booleans()):
+            parent.stages[-1].append(child)
+        else:
+            parent.stages.append([child])
+        nodes.append(child)
+    graph = DependencyGraph("svc", nodes[0])
+    profiles = {
+        name: MicroserviceProfile(
+            name=name, model=draw(piecewise_models()), resource_demand=0.1
+        )
+        for name in names
+    }
+    workload = draw(st.floats(min_value=100.0, max_value=100_000.0))
+    return graph, profiles, workload
+
+
+# ----------------------------------------------------------------------
+# Scaling pipeline invariants
+# ----------------------------------------------------------------------
+
+
+class TestScalingInvariants:
+    @given(random_services(), st.floats(min_value=1.2, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_meets_sla_under_own_model(self, service, slack):
+        graph, profiles, workload = service
+        # Choose an SLA comfortably above the graph's latency floor.
+        floor = graph.end_to_end_latency(
+            {n: profiles[n].model.low.intercept for n in graph.microservices()}
+        )
+        spec = ServiceSpec("svc", graph, workload=workload, sla=floor * slack + 5.0)
+        result = compute_service_targets(spec, profiles)
+        e2e = predicted_end_to_end(spec, profiles, result.containers)
+        assert e2e <= spec.sla * 1.0 + 1e-6
+
+    @given(random_services())
+    @settings(max_examples=40, deadline=None)
+    def test_targets_cover_every_microservice(self, service):
+        graph, profiles, workload = service
+        floor = graph.end_to_end_latency(
+            {n: profiles[n].model.low.intercept for n in graph.microservices()}
+        )
+        spec = ServiceSpec("svc", graph, workload=workload, sla=floor * 2 + 10.0)
+        result = compute_service_targets(spec, profiles)
+        assert set(result.targets) == set(graph.microservices())
+        assert all(count >= 1 for count in result.containers.values())
+
+    @given(random_services())
+    @settings(max_examples=40, deadline=None)
+    def test_more_workload_never_fewer_containers(self, service):
+        graph, profiles, workload = service
+        floor = graph.end_to_end_latency(
+            {n: profiles[n].model.low.intercept for n in graph.microservices()}
+        )
+        sla = floor * 2 + 10.0
+        light = compute_service_targets(
+            ServiceSpec("svc", graph, workload=workload, sla=sla), profiles
+        )
+        heavy = compute_service_targets(
+            ServiceSpec("svc", graph, workload=workload * 2, sla=sla), profiles
+        )
+        assert sum(heavy.containers.values()) >= sum(light.containers.values())
+
+
+class TestBestEffortInvariants:
+    @given(
+        piecewise_models(),
+        st.floats(min_value=1.0, max_value=100_000.0),
+        st.floats(min_value=0.1, max_value=500.0),
+    )
+    @settings(max_examples=150)
+    def test_result_is_positive(self, model, workload, target):
+        assert best_effort_containers(model, workload, target) >= 1
+
+    @given(
+        piecewise_models(),
+        st.floats(min_value=1.0, max_value=100_000.0),
+        st.floats(min_value=0.1, max_value=500.0),
+    )
+    @settings(max_examples=150)
+    def test_tighter_target_never_fewer_containers(self, model, workload, target):
+        looser = best_effort_containers(model, workload, target * 1.5)
+        tighter = best_effort_containers(model, workload, target)
+        assert tighter >= looser
+
+    @given(
+        piecewise_models(),
+        st.floats(min_value=1.0, max_value=50_000.0),
+        st.floats(min_value=0.1, max_value=500.0),
+    )
+    @settings(max_examples=150)
+    def test_more_workload_never_fewer_containers(self, model, workload, target):
+        light = best_effort_containers(model, workload, target)
+        heavy = best_effort_containers(model, workload * 2.0, target)
+        assert heavy >= light
+
+    @given(piecewise_models(), st.floats(min_value=1.0, max_value=50_000.0))
+    @settings(max_examples=100)
+    def test_achievable_targets_are_met(self, model, workload):
+        """For targets above the knee, the provisioned latency meets them."""
+        target = model.latency_at_cutoff() * 1.5
+        count = best_effort_containers(model, workload, target)
+        load = workload / count
+        assert model.latency(load) <= target + 1e-6
+
+    @given(piecewise_models(), st.floats(min_value=1.0, max_value=50_000.0))
+    @settings(max_examples=100)
+    def test_max_load_respected(self, model, workload):
+        target = model.latency_at_cutoff() * 10.0
+        count = best_effort_containers(model, workload, target)
+        assert workload / count <= model.max_load + 1e-6
+
+
+class TestSimulatorInvariants:
+    @given(
+        st.floats(min_value=500.0, max_value=20_000.0),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_conservation_and_latency_floor(self, rate, containers, seed):
+        from repro.graphs import call
+        from repro.simulator import (
+            ClusterSimulator,
+            SimulatedMicroservice,
+            SimulationConfig,
+        )
+
+        spec = ServiceSpec("svc", DependencyGraph("svc", call("B")), 0.0, 1e9)
+        sim = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=4.0, threads=2)},
+            containers={"B": containers},
+            rates={"svc": rate},
+            config=SimulationConfig(duration_min=0.5, warmup_min=0.0, seed=seed),
+        )
+        result = sim.run()
+        # Drain mode: everything generated completes.
+        assert result.completed["svc"] == result.generated["svc"]
+        latencies = result.latencies("svc")
+        if len(latencies):
+            # Latency is never negative and includes some processing.
+            assert float(latencies.min()) >= 0.0
+
+
+class TestClusteringInvariants:
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d", "e"]),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_and_weight_mass(self, chains, threshold):
+        from repro.graphs.clustering import cluster_graphs
+        from repro.graphs import call
+
+        variants = []
+        for chain in chains:
+            node = call(chain[-1])
+            for name in reversed(chain[:-1]):
+                node = call(name, stages=[[node]])
+            variants.append(DependencyGraph("svc", node))
+        classes = cluster_graphs(variants, similarity_threshold=threshold)
+        members = sorted(i for cls in classes for i in cls.members)
+        assert members == list(range(len(variants)))  # exact partition
+        assert sum(cls.weight for cls in classes) == pytest.approx(1.0)

@@ -1,0 +1,219 @@
+"""Tests for repro.queueing: M/M/c closed forms, priority queues, sharing.
+
+Includes cross-validation against the discrete-event simulator — the
+analytic formulas and the DES must agree on mean response times, which
+pins down both implementations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ServiceSpec
+from repro.graphs import DependencyGraph, call
+from repro.queueing import (
+    MM1Priority,
+    MMc,
+    erlang_c,
+    mm1_mean_response,
+    mm1_mean_wait,
+    sharing_vs_partitioning,
+)
+from repro.simulator import (
+    ClusterSimulator,
+    SimulatedMicroservice,
+    SimulationConfig,
+)
+
+
+class TestMM1:
+    def test_known_values(self):
+        # λ=0.5, μ=1: W_q = 0.5/(0.5) = 1, response = 2.
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+        assert mm1_mean_response(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_empty_queue(self):
+        assert mm1_mean_wait(0.0, 1.0) == pytest.approx(0.0)
+        assert mm1_mean_response(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_wait(1.0, 1.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            mm1_mean_wait(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            mm1_mean_wait(0.5, 0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.95),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100)
+    def test_wait_grows_with_utilization(self, rho, mu):
+        lam = rho * mu
+        wait = mm1_mean_wait(lam, mu)
+        heavier = mm1_mean_wait(min(lam * 1.04, mu * 0.99), mu)
+        assert heavier >= wait
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For c=1, Erlang-C equals the utilization.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_no_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_bounds(self):
+        value = erlang_c(4, 3.0)
+        assert 0.0 < value < 1.0
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(8, 3.0) < erlang_c(4, 3.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            erlang_c(2, 2.0)
+
+
+class TestMMc:
+    def test_reduces_to_mm1(self):
+        queue = MMc(arrival_rate=0.5, service_rate=1.0, servers=1)
+        assert queue.mean_response() == pytest.approx(mm1_mean_response(0.5, 1.0))
+
+    def test_from_per_minute(self):
+        queue = MMc.from_per_minute(30_000.0, mean_service_ms=5.0, servers=4)
+        assert queue.arrival_rate == pytest.approx(0.5)
+        assert queue.service_rate == pytest.approx(0.2)
+        assert queue.utilization == pytest.approx(0.625)
+
+    def test_pooling_beats_partitioning(self):
+        pooled = MMc(arrival_rate=1.0, service_rate=0.4, servers=4)
+        split = MMc(arrival_rate=0.5, service_rate=0.4, servers=2)
+        assert pooled.mean_response() < split.mean_response()
+
+    def test_wait_tail_decreasing(self):
+        queue = MMc(arrival_rate=0.7, service_rate=0.2, servers=5)
+        assert queue.wait_tail(0.0) == pytest.approx(queue.wait_probability())
+        assert queue.wait_tail(10.0) < queue.wait_tail(1.0)
+
+    def test_percentile_above_mean(self):
+        queue = MMc(arrival_rate=0.6, service_rate=0.2, servers=4)
+        assert queue.response_percentile(95.0) > queue.mean_response()
+
+    def test_percentile_monotone(self):
+        queue = MMc(arrival_rate=0.6, service_rate=0.2, servers=4)
+        assert queue.response_percentile(99.0) > queue.response_percentile(50.0)
+
+    def test_invalid_percentile(self):
+        queue = MMc(arrival_rate=0.1, service_rate=1.0, servers=1)
+        with pytest.raises(ValueError, match="percentile"):
+            queue.response_percentile(0.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MMc(arrival_rate=1.0, service_rate=0.2, servers=4)
+
+    def test_matches_simulator_mean_response(self):
+        """The DES and the closed form agree (cross-validation)."""
+        base_ms, threads, rate_per_min = 5.0, 4, 36_000.0
+        queue = MMc.from_per_minute(rate_per_min, base_ms, threads)
+
+        spec = ServiceSpec("svc", DependencyGraph("svc", call("P")), 0.0, 1e9)
+        sim = ClusterSimulator(
+            [spec],
+            {"P": SimulatedMicroservice("P", base_service_ms=base_ms, threads=threads)},
+            containers={"P": 1},
+            rates={"svc": rate_per_min},
+            config=SimulationConfig(duration_min=3.0, warmup_min=0.5, seed=4),
+        ).run()
+        simulated_mean = float(np.mean(sim.latencies("svc")))
+        assert simulated_mean == pytest.approx(queue.mean_response(), rel=0.12)
+
+
+class TestMM1Priority:
+    def test_high_class_waits_less(self):
+        queue = MM1Priority(arrival_rates=[0.3, 0.3], service_rate=1.0)
+        assert queue.mean_wait(0) < queue.mean_wait(1)
+
+    def test_work_conservation(self):
+        """λ-weighted wait equals the FCFS M/M/1 wait at the same load."""
+        queue = MM1Priority(arrival_rates=[0.25, 0.35], service_rate=1.0)
+        fcfs_wait = mm1_mean_wait(0.6, 1.0)
+        assert queue.aggregate_mean_wait() == pytest.approx(fcfs_wait, rel=1e-9)
+
+    def test_three_classes_ordered(self):
+        queue = MM1Priority(arrival_rates=[0.2, 0.2, 0.2], service_rate=1.0)
+        waits = [queue.mean_wait(k) for k in range(3)]
+        assert waits == sorted(waits)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MM1Priority(arrival_rates=[0.6, 0.6], service_rate=1.0)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MM1Priority(arrival_rates=[], service_rate=1.0)
+
+    def test_bad_index(self):
+        queue = MM1Priority(arrival_rates=[0.5], service_rate=1.0)
+        with pytest.raises(IndexError):
+            queue.mean_wait(1)
+
+    def test_matches_strict_priority_simulation(self):
+        """The DES with δ=0 on a 1-thread container matches Cobham."""
+        base_ms = 5.0
+        rate_hot, rate_cold = 4_000.0, 4_000.0  # per minute
+        queue = MM1Priority(
+            arrival_rates=[rate_hot / 60_000.0, rate_cold / 60_000.0],
+            service_rate=1.0 / base_ms,
+        )
+        specs = [
+            ServiceSpec("hot", DependencyGraph("hot", call("P")), 0.0, 1e9),
+            ServiceSpec("cold", DependencyGraph("cold", call("P")), 0.0, 1e9),
+        ]
+        sim = ClusterSimulator(
+            specs,
+            {"P": SimulatedMicroservice("P", base_service_ms=base_ms, threads=1)},
+            containers={"P": 1},
+            rates={"hot": rate_hot, "cold": rate_cold},
+            config=SimulationConfig(
+                duration_min=4.0, warmup_min=0.5, seed=8,
+                scheduling="priority", delta=0.0,
+            ),
+            priorities={"P": {"hot": 0, "cold": 1}},
+        ).run()
+        hot_mean = float(np.mean(sim.latencies("hot")))
+        cold_mean = float(np.mean(sim.latencies("cold")))
+        assert hot_mean == pytest.approx(queue.mean_response(0), rel=0.15)
+        assert cold_mean == pytest.approx(queue.mean_response(1), rel=0.15)
+
+
+class TestSharingComparison:
+    def test_paper_observation_sharing_beats_partitioning(self):
+        """§2.3: at fixed resources, FCFS sharing has better mean time."""
+        comparison = sharing_vs_partitioning(
+            arrivals_per_minute_1=10_000.0,
+            arrivals_per_minute_2=10_000.0,
+            mean_service_ms=5.0,
+            servers=4,
+        )
+        assert comparison.shared_fcfs < comparison.partitioned_mean
+
+    def test_priority_brackets_fcfs(self):
+        comparison = sharing_vs_partitioning(
+            arrivals_per_minute_1=8_000.0,
+            arrivals_per_minute_2=12_000.0,
+            mean_service_ms=5.0,
+            servers=4,
+        )
+        assert comparison.shared_priority_class1 < comparison.shared_priority_class2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            sharing_vs_partitioning(1.0, 1.0, 5.0, servers=3)
+        with pytest.raises(ValueError, match="mean_service_ms"):
+            sharing_vs_partitioning(1.0, 1.0, 0.0, servers=2)

@@ -1,0 +1,41 @@
+"""The README's code blocks must actually run (doc regression tests)."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_and_mentions_components(self):
+        text = README.read_text()
+        for needle in ("ErmsScaler", "DESIGN.md", "EXPERIMENTS.md", "benchmarks/"):
+            assert needle in text
+
+    def test_quickstart_block_executes(self):
+        blocks = python_blocks()
+        assert blocks, "README has no python code block"
+        namespace = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+        allocation = namespace["allocation"]
+        assert allocation.total_containers() > 0
+        assert "user-timeline" in allocation.containers
+
+    def test_documented_examples_exist(self):
+        text = README.read_text()
+        examples_dir = pathlib.Path(__file__).parent.parent / "examples"
+        for name in re.findall(r"`([a-z_]+\.py)`", text):
+            assert (examples_dir / name).exists(), f"README references missing {name}"
+
+    def test_paper_mapping_references_real_paths(self):
+        mapping = pathlib.Path(__file__).parent.parent / "PAPER_MAPPING.md"
+        root = pathlib.Path(__file__).parent.parent
+        for path in re.findall(r"`(repro/[a-z_/]+\.py)`", mapping.read_text()):
+            assert (root / "src" / path).exists(), f"missing {path}"

@@ -1,0 +1,127 @@
+"""Tests for the Alibaba-v2021-style trace row format."""
+
+import pytest
+
+from repro.workloads.traces_io import (
+    CallRow,
+    graph_to_rows,
+    graphs_from_csv,
+    read_csv,
+    rows_to_graph,
+    write_csv,
+)
+
+from tests.helpers import chain_graph, fig1_graph
+
+
+class TestGraphToRows:
+    def test_root_row_convention(self):
+        rows = graph_to_rows(fig1_graph(), traceid="t1")
+        root = rows[0]
+        assert root.rpcid == "0"
+        assert root.um == "USER"
+        assert root.dm == "T"
+
+    def test_one_row_per_call(self):
+        rows = graph_to_rows(fig1_graph())
+        # Root entry + 3 downstream calls.
+        assert len(rows) == 4
+
+    def test_parallel_flags(self):
+        rows = graph_to_rows(fig1_graph())
+        by_dm = {row.dm: row for row in rows}
+        assert not by_dm["Url"].parallel  # first of its stage
+        assert by_dm["U"].parallel  # joins Url's stage
+        assert not by_dm["C"].parallel  # new stage
+
+    def test_rpcid_hierarchy(self):
+        rows = graph_to_rows(chain_graph(["A", "B", "C"]))
+        rpcids = sorted(row.rpcid for row in rows)
+        assert rpcids == ["0", "0.1", "0.1.1"]
+
+    def test_depth_and_parent(self):
+        row = CallRow("t", "svc", "0.1.2", "a", "b", 1.0)
+        assert row.depth() == 2
+        assert row.parent_rpcid() == "0.1"
+        assert CallRow("t", "svc", "0", "USER", "a", 1.0).parent_rpcid() is None
+
+
+class TestRowsToGraph:
+    def test_round_trip_fig1(self):
+        graph = fig1_graph()
+        rebuilt = rows_to_graph(graph_to_rows(graph))
+        assert set(rebuilt.critical_paths()) == set(graph.critical_paths())
+        assert rebuilt.service == graph.service
+
+    def test_round_trip_chain(self):
+        graph = chain_graph(["A", "B", "C", "D"])
+        rebuilt = rows_to_graph(graph_to_rows(graph))
+        assert rebuilt.critical_paths() == graph.critical_paths()
+
+    def test_rows_order_independent(self):
+        rows = graph_to_rows(fig1_graph())
+        rebuilt = rows_to_graph(list(reversed(rows)))
+        assert set(rebuilt.critical_paths()) == set(fig1_graph().critical_paths())
+
+    def test_missing_parent_rejected(self):
+        rows = [
+            CallRow("t", "svc", "0", "USER", "A", 1.0),
+            CallRow("t", "svc", "0.1.1", "B", "C", 1.0),
+        ]
+        with pytest.raises(ValueError, match="no parent"):
+            rows_to_graph(rows)
+
+    def test_um_mismatch_rejected(self):
+        rows = [
+            CallRow("t", "svc", "0", "USER", "A", 1.0),
+            CallRow("t", "svc", "0.1", "WRONG", "B", 1.0),
+        ]
+        with pytest.raises(ValueError, match="does not match"):
+            rows_to_graph(rows)
+
+    def test_multiple_traces_rejected(self):
+        rows = [
+            CallRow("t1", "svc", "0", "USER", "A", 1.0),
+            CallRow("t2", "svc", "0", "USER", "A", 1.0),
+        ]
+        with pytest.raises(ValueError, match="multiple traces"):
+            rows_to_graph(rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            rows_to_graph([])
+
+
+class TestCsvRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        rows = graph_to_rows(fig1_graph(), traceid="t9")
+        path = tmp_path / "calls.csv"
+        assert write_csv(rows, str(path)) == len(rows)
+        loaded = read_csv(str(path))
+        assert loaded == rows
+
+    def test_graphs_from_csv_many_traces(self, tmp_path):
+        rows = graph_to_rows(fig1_graph(), traceid="a") + graph_to_rows(
+            chain_graph(["A", "B"]), traceid="b"
+        )
+        path = tmp_path / "calls.csv"
+        write_csv(rows, str(path))
+        graphs = graphs_from_csv(str(path))
+        assert set(graphs) == {"a", "b"}
+        assert set(graphs["a"].critical_paths()) == set(
+            fig1_graph().critical_paths()
+        )
+
+    def test_round_trip_through_clustering(self, tmp_path):
+        """Trace rows -> graphs -> classes: the §9 pipeline on disk data."""
+        from repro.graphs.clustering import cluster_graphs
+
+        rows = []
+        for index in range(4):
+            graph = fig1_graph() if index % 2 == 0 else chain_graph(["X", "Y"])
+            rows.extend(graph_to_rows(graph, traceid=f"t{index}"))
+        path = tmp_path / "calls.csv"
+        write_csv(rows, str(path))
+        graphs = list(graphs_from_csv(str(path)).values())
+        classes = cluster_graphs(graphs, similarity_threshold=0.5)
+        assert len(classes) == 2
