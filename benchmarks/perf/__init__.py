@@ -1,0 +1,5 @@
+"""Tracked performance benchmark suite for the DES engine and experiment layer.
+
+Run ``PYTHONPATH=src python benchmarks/perf/runner.py`` to time the
+canonical configurations and refresh ``BENCH_des.json`` at the repo root.
+"""

@@ -1,0 +1,219 @@
+"""Perf benchmark runner: times canonical simulator/experiment configurations.
+
+Three single-process benchmarks plus one parallel-grid benchmark:
+
+* ``saturation`` — one microservice near its capacity knee: the pure
+  engine hot path (arrival events, dispatch, completion events, result
+  recording).  Reported as events/sec, the headline engine metric.
+* ``static_cell`` — one DeathStarBench static-grid cell with
+  ``simulate=True``: the experiment layer end to end (scale + replay).
+* ``trace_slice`` — an Alibaba-scale population slice allocated
+  analytically: the allocation layer at fan-out.
+* ``parallel_grid`` — a small simulated static grid at ``workers=1``
+  versus multi-process, reporting the grid speedup.
+
+Results are written to ``BENCH_des.json`` at the repo root so the perf
+trajectory is tracked across PRs.  ``baseline_seed.json`` (checked in,
+measured on the pre-fast-path seed engine) rides along in the output so
+every report carries the reference numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline_seed.json"
+
+if str(REPO_ROOT / "src") not in sys.path:  # script-mode convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import ErmsScaler, ServiceSpec  # noqa: E402
+from repro.graphs import DependencyGraph, call  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    ClusterSimulator,
+    SimulatedMicroservice,
+    SimulationConfig,
+)
+from repro.workloads import generate_taobao, social_network  # noqa: E402
+
+
+def bench_saturation(
+    duration_min: float = 2.0, seed: int = 7, trials: int = 3
+) -> dict:
+    """Single-microservice run near the capacity knee (engine hot path).
+
+    Runs ``trials`` identical simulations and reports the *fastest*
+    (best-of-N): DES throughput is deterministic work, so the minimum
+    wall time is the least-noisy estimate on a shared/1-CPU machine;
+    the per-trial numbers ride along for inspection.
+    """
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+    runs = []
+    for _ in range(max(1, trials)):
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},  # capacity: 48k req/min
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.5, seed=seed
+            ),
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - start
+        runs.append((wall, result))
+    wall, result = min(runs, key=lambda pair: pair[0])
+    events = result.events_processed
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "requests": result.completed["svc"],
+        "trials_events_per_sec": [
+            round(r.events_processed / w, 1) for w, r in runs
+        ],
+    }
+
+
+def bench_static_cell(seed: int = 0) -> dict:
+    """One (workload, SLA, scheme) DSB grid cell with simulation replay."""
+    from repro.experiments import run_static_sweep
+
+    app = social_network()
+    start = time.perf_counter()
+    sweep = run_static_sweep(
+        app,
+        [ErmsScaler()],
+        workloads=[20_000.0],
+        slas=[200.0],
+        simulate=True,
+        duration_min=1.0,
+        warmup_min=0.3,
+        seed=seed,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 4),
+        "rows": len(sweep.rows),
+        "containers": sweep.rows[0]["containers"] if sweep.rows else 0,
+    }
+
+
+def bench_trace_slice(seed: int = 42) -> dict:
+    """Alibaba-scale slice: analytic allocation over a shared population."""
+    from repro.experiments import run_trace_simulation
+
+    workload = generate_taobao(
+        n_services=40, mean_graph_size=30, shared_pool=120, seed=seed
+    )
+    scaler = ErmsScaler()
+    start = time.perf_counter()
+    result = run_trace_simulation(workload, [scaler])
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 4),
+        "services": len(workload.services),
+        "total_containers": result.totals.get(scaler.name, 0),
+    }
+
+
+def bench_parallel_grid(workers: int = 0, seed: int = 0) -> dict:
+    """Simulated static grid, serial vs. process-parallel (same seeds)."""
+    from repro.experiments import run_static_sweep
+
+    if workers <= 0:
+        # At least 2 so the process pool is actually exercised (and the
+        # serial-vs-parallel identity checked) even on a 1-CPU machine,
+        # where the speedup will honestly be ~1x or below.
+        workers = max(2, min(4, os.cpu_count() or 1))
+    app = social_network()
+    grid = dict(
+        workloads=[5_000.0, 20_000.0],
+        slas=[150.0, 300.0],
+        simulate=True,
+        duration_min=0.5,
+        warmup_min=0.1,
+        seed=seed,
+    )
+
+    start = time.perf_counter()
+    serial = run_static_sweep(app, [ErmsScaler()], workers=1, **grid)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_static_sweep(app, [ErmsScaler()], workers=workers, **grid)
+    parallel_wall = time.perf_counter() - start
+
+    identical = serial.rows == parallel.rows
+    return {
+        "workers": workers,
+        "cells": len(serial.rows),
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 2)
+        if parallel_wall > 0
+        else None,
+        "rows_identical": identical,
+    }
+
+
+BENCHMARKS = {
+    "saturation": bench_saturation,
+    "static_cell": bench_static_cell,
+    "trace_slice": bench_trace_slice,
+    "parallel_grid": bench_parallel_grid,
+}
+
+
+def run_suite(only=None, output: pathlib.Path = None) -> dict:
+    """Run the suite and write ``BENCH_des.json``; returns the report."""
+    report = {"schema": 1, "benchmarks": {}}
+    for name, fn in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        print(f"[perf] {name} ...", flush=True)
+        report["benchmarks"][name] = fn()
+        print(f"[perf]   {report['benchmarks'][name]}", flush=True)
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        report["baseline"] = baseline
+        base_sat = baseline.get("benchmarks", {}).get("saturation", {})
+        cur_sat = report["benchmarks"].get("saturation", {})
+        if base_sat.get("events_per_sec") and cur_sat.get("events_per_sec"):
+            report["saturation_speedup_vs_seed"] = round(
+                cur_sat["events_per_sec"] / base_sat["events_per_sec"], 2
+            )
+
+    out = output or (REPO_ROOT / "BENCH_des.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[perf] wrote {out}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(BENCHMARKS),
+        help="run a subset of benchmarks",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, help="output path (default BENCH_des.json)"
+    )
+    args = parser.parse_args(argv)
+    run_suite(only=args.only, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

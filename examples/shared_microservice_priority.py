@@ -15,13 +15,8 @@ from repro.core import (
     compute_service_targets,
     scale_with_priorities,
 )
-from repro.experiments import format_table
+from repro.experiments import format_table, run_delta_sweep
 from repro.graphs import DependencyGraph, call
-from repro.simulator import (
-    ClusterSimulator,
-    SimulatedMicroservice,
-    SimulationConfig,
-)
 from repro.workloads import analytic_profile
 
 WORKLOAD = 40_000.0
@@ -75,34 +70,7 @@ def main():
 
     # Live demonstration of delta-probabilistic scheduling at P.
     print("\nSimulating the shared microservice under priority scheduling:")
-    sim_specs = [
-        ServiceSpec("hot", DependencyGraph("hot", call("P")), 0.0, 50.0),
-        ServiceSpec("cold", DependencyGraph("cold", call("P")), 0.0, 300.0),
-    ]
-    simulated = {"P": SimulatedMicroservice("P", base_service_ms=5.0, threads=4)}
-    rows = []
-    for delta in (0.0, 0.05, 0.2):
-        result = ClusterSimulator(
-            sim_specs,
-            simulated,
-            containers={"P": 1},
-            rates={"hot": 36_000.0, "cold": 6_000.0},
-            config=SimulationConfig(
-                duration_min=1.5,
-                warmup_min=0.3,
-                seed=1,
-                scheduling="priority",
-                delta=delta,
-            ),
-            priorities={"P": {"hot": 0, "cold": 1}},
-        ).run()
-        rows.append(
-            {
-                "delta": delta,
-                "hot_p95_ms": result.tail_latency("hot"),
-                "cold_p95_ms": result.tail_latency("cold"),
-            }
-        )
+    rows = run_delta_sweep(deltas=(0.0, 0.05, 0.2), seed=1)
     print(format_table(rows, "Delta sweep (paper Fig. 9: delta=0.05 is the sweet spot)"))
 
 

@@ -6,11 +6,13 @@ plots; the benchmark suite prints them and asserts the qualitative shape
 EXPERIMENTS.md for the per-figure paper-vs-measured record.
 """
 
+from repro.experiments.delta import run_delta_sweep
 from repro.experiments.harness import (
     evaluate_allocation,
     fit_profiles_from_simulation,
     simulate_profiling_sweep,
 )
+from repro.experiments.parallel import default_workers, run_cells
 from repro.experiments.reporting import format_table
 from repro.experiments.plots import bar_chart, cdf_table, sparkline
 from repro.experiments.static import StaticSweepResult, run_static_sweep
@@ -22,8 +24,11 @@ from repro.experiments.interference import (
 from repro.experiments.trace_sim import TraceSimResult, run_trace_simulation
 
 __all__ = [
+    "default_workers",
     "evaluate_allocation",
     "fit_profiles_from_simulation",
+    "run_cells",
+    "run_delta_sweep",
     "simulate_profiling_sweep",
     "format_table",
     "bar_chart",

@@ -14,6 +14,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.model import Allocation, MicroserviceProfile, ServiceSpec
+from repro.experiments.parallel import run_cells
 from repro.graphs import DependencyGraph, call
 from repro.profiling.piecewise import fit_piecewise
 from repro.simulator.simulation import (
@@ -64,6 +65,33 @@ def evaluate_allocation(
     return simulator.run()
 
 
+def _probe_cell(cell: Dict) -> float:
+    """Drive one container at one load level; returns the tail latency.
+
+    Top-level so it pickles into pool workers; the payload carries the
+    cell's own seed, making the result identical in-process or not.
+    """
+    microservice: SimulatedMicroservice = cell["microservice"]
+    graph = DependencyGraph("probe", call(microservice.name))
+    spec = ServiceSpec("probe", graph, workload=0.0, sla=1.0e9)
+    simulator = ClusterSimulator(
+        [spec],
+        {microservice.name: microservice},
+        containers={microservice.name: 1},
+        rates={"probe": float(cell["load"])},
+        config=SimulationConfig(
+            duration_min=cell["duration_min"],
+            warmup_min=cell["warmup_min"],
+            seed=cell["seed"],
+        ),
+        container_multipliers={
+            microservice.name: [cell["interference_multiplier"]]
+        },
+    )
+    result = simulator.run()
+    return result.tail_latency("probe", cell["percentile"])
+
+
 def simulate_profiling_sweep(
     microservice: SimulatedMicroservice,
     loads: Sequence[float],
@@ -72,36 +100,32 @@ def simulate_profiling_sweep(
     warmup_min: float = 0.5,
     seed: int = 0,
     percentile: float = 95.0,
+    workers: int = 1,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Measure one microservice's P95 latency across per-container loads.
 
     This is the offline-profiling data collection of §5.2 against the
     simulator: a single container is driven at each load level and its
-    tail latency recorded.
+    tail latency recorded.  Load levels are independent runs seeded
+    ``seed + index``, so with ``workers > 1`` they fan out across
+    processes and still return exactly the serial result.
 
     Returns:
         (loads, p95_latencies) arrays.
     """
-    graph = DependencyGraph("probe", call(microservice.name))
-    spec = ServiceSpec("probe", graph, workload=0.0, sla=1.0e9)
-    latencies = []
-    for index, load in enumerate(loads):
-        simulator = ClusterSimulator(
-            [spec],
-            {microservice.name: microservice},
-            containers={microservice.name: 1},
-            rates={"probe": float(load)},
-            config=SimulationConfig(
-                duration_min=duration_min,
-                warmup_min=warmup_min,
-                seed=seed + index,
-            ),
-            container_multipliers={
-                microservice.name: [interference_multiplier]
-            },
-        )
-        result = simulator.run()
-        latencies.append(result.tail_latency("probe", percentile))
+    cells = [
+        {
+            "microservice": microservice,
+            "load": load,
+            "interference_multiplier": interference_multiplier,
+            "duration_min": duration_min,
+            "warmup_min": warmup_min,
+            "seed": seed + index,
+            "percentile": percentile,
+        }
+        for index, load in enumerate(loads)
+    ]
+    latencies = run_cells(_probe_cell, cells, workers)
     return np.asarray(loads, dtype=float), np.asarray(latencies)
 
 
@@ -114,6 +138,7 @@ def fit_profiles_from_simulation(
     duration_min: float = 1.0,
     warmup_min: Optional[float] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[str, MicroserviceProfile]:
     """Profile every microservice by sweeping the simulator (§5.2).
 
@@ -121,8 +146,15 @@ def fit_profiles_from_simulation(
     microservice's theoretical capacity ``threads / base_service_ms``; the
     measured P95 curve is fitted piecewise.  This produces *measured*
     profiles — the controller's belief is then genuinely learned from the
-    substrate it controls, as in the real system.
+    substrate it controls, as in the real system.  ``workers`` fans the
+    per-load probe runs out across processes (see
+    :func:`simulate_profiling_sweep`).
     """
+    # Resolve the default once, before iterating: every microservice
+    # profiles with the same warmup, and the parameter is never mutated
+    # mid-loop.
+    if warmup_min is None:
+        warmup_min = duration_min / 3.0
     profiles: Dict[str, MicroserviceProfile] = {}
     for name, sim in simulated.items():
         capacity = sim.threads / (
@@ -131,8 +163,6 @@ def fit_profiles_from_simulation(
         loads = np.linspace(
             0.1 * capacity, max_load_fraction * capacity, sweep_points
         )
-        if warmup_min is None:
-            warmup_min = duration_min / 3.0
         xs, ys = simulate_profiling_sweep(
             sim,
             loads,
@@ -140,6 +170,7 @@ def fit_profiles_from_simulation(
             duration_min=duration_min,
             warmup_min=warmup_min,
             seed=seed,
+            workers=workers,
         )
         fit = fit_piecewise(xs, ys)
         demand = 1.0

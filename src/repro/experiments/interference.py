@@ -26,6 +26,7 @@ from repro.core.provisioning import (
 )
 from repro.core.scaling import Autoscaler
 from repro.experiments.harness import evaluate_allocation
+from repro.experiments.parallel import run_cells
 from repro.simulator.interference import InterferenceModel
 from repro.workloads.deathstarbench import Application
 
@@ -68,6 +69,68 @@ class InterferenceResult:
     rows: List[Dict] = field(default_factory=list)
 
 
+def _provisioner_search(cell: Dict) -> Dict:
+    """The grow-until-SLA-holds loop for one provisioner (picklable cell).
+
+    Rounds within one provisioner are inherently sequential (each round's
+    counts depend on the previous verdict), but provisioners never share
+    state, so each search is one parallel cell.
+    """
+    provisioner: Provisioner = cell["provisioner"]
+    specs = cell["specs"]
+    profiles = cell["profiles"]
+    base_allocation: Allocation = cell["base_allocation"]
+    interference: InterferenceModel = cell["interference"]
+    duration_min = cell["duration_min"]
+
+    counts = dict(base_allocation.containers)
+    p95_equal = float("nan")
+    imbalance = float("nan")
+    for round_index in range(cell["max_growth_rounds"]):
+        cluster = _place(
+            provisioner, cell["hosts"], cell["background"], counts, profiles
+        )
+        multipliers = multipliers_from_placement(cluster, interference)
+        allocation = Allocation(
+            containers=dict(counts),
+            priorities=base_allocation.priorities,
+        )
+        sim = evaluate_allocation(
+            specs,
+            cell["simulated"],
+            allocation,
+            duration_min=duration_min,
+            warmup_min=min(0.3, duration_min / 3),
+            seed=cell["seed"] + round_index,
+            container_multipliers=multipliers,
+        )
+        violations, p95s = [], []
+        for spec in specs:
+            if sim.completed.get(spec.name, 0) == 0:
+                violations.append(1.0)
+                continue
+            violations.append(sim.sla_violation_rate(spec.name, spec.sla))
+            p95s.append(sim.tail_latency(spec.name))
+        violation = float(np.mean(violations)) if violations else 0.0
+        final_p95 = float(np.mean(p95s)) if p95s else float("nan")
+        if round_index == 0:
+            # Equal-container comparison (Fig. 15b) uses the first round.
+            p95_equal = final_p95
+            imbalance = cluster.imbalance()
+        if violation <= cell["violation_threshold"]:
+            break
+        counts = {
+            name: max(count + 1, math.ceil(count * cell["growth_factor"]))
+            for name, count in counts.items()
+        }
+    return {
+        "provisioner": provisioner.name,
+        "containers": sum(counts.values()),
+        "p95_equal": p95_equal,
+        "imbalance": imbalance,
+    }
+
+
 def run_interference_comparison(
     app: Application,
     scaler: Autoscaler,
@@ -83,13 +146,16 @@ def run_interference_comparison(
     duration_min: float = 1.0,
     seed: int = 0,
     profiles: Optional[Mapping[str, MicroserviceProfile]] = None,
+    workers: int = 1,
 ) -> InterferenceResult:
     """Find the containers each provisioner needs to satisfy the SLA.
 
     Both provisioners start from the same scheme allocation; whenever the
     simulated violation rate exceeds ``violation_threshold`` every
     microservice's count grows by ``growth_factor`` and the placement is
-    redone — mirroring an operator scaling until the SLA holds.
+    redone — mirroring an operator scaling until the SLA holds.  With
+    ``workers > 1`` the per-provisioner searches run in parallel
+    processes; results are identical to the serial run.
     """
     if interference is None:
         interference = InterferenceModel()
@@ -100,55 +166,29 @@ def run_interference_comparison(
     )
     base_allocation = scaler.scale(specs, profiles)
 
+    cells = [
+        {
+            "provisioner": provisioner,
+            "specs": specs,
+            "profiles": profiles,
+            "simulated": app.simulated,
+            "base_allocation": base_allocation,
+            "interference": interference,
+            "hosts": hosts,
+            "background": background,
+            "max_growth_rounds": max_growth_rounds,
+            "growth_factor": growth_factor,
+            "violation_threshold": violation_threshold,
+            "duration_min": duration_min,
+            "seed": seed,
+        }
+        for provisioner in provisioners
+    ]
     result = InterferenceResult()
-    for provisioner in provisioners:
-        counts = dict(base_allocation.containers)
-        final_p95 = float("nan")
-        for round_index in range(max_growth_rounds):
-            cluster = _place(
-                provisioner, hosts, background, counts, profiles
-            )
-            multipliers = multipliers_from_placement(cluster, interference)
-            allocation = Allocation(
-                containers=dict(counts),
-                priorities=base_allocation.priorities,
-            )
-            sim = evaluate_allocation(
-                specs,
-                app.simulated,
-                allocation,
-                duration_min=duration_min,
-                warmup_min=min(0.3, duration_min / 3),
-                seed=seed + round_index,
-                container_multipliers=multipliers,
-            )
-            violations, p95s = [], []
-            for spec in specs:
-                if sim.completed.get(spec.name, 0) == 0:
-                    violations.append(1.0)
-                    continue
-                violations.append(sim.sla_violation_rate(spec.name, spec.sla))
-                p95s.append(sim.tail_latency(spec.name))
-            violation = float(np.mean(violations)) if violations else 0.0
-            final_p95 = float(np.mean(p95s)) if p95s else float("nan")
-            if round_index == 0:
-                # Equal-container comparison (Fig. 15b) uses the first round.
-                result.p95_equal_containers[provisioner.name] = final_p95
-                result.imbalance[provisioner.name] = cluster.imbalance()
-            if violation <= violation_threshold:
-                break
-            counts = {
-                name: max(count + 1, math.ceil(count * growth_factor))
-                for name, count in counts.items()
-            }
-        total = sum(counts.values())
-        result.containers_needed[provisioner.name] = total
-        result.rows.append(
-            {
-                "provisioner": provisioner.name,
-                "containers": total,
-                "p95_equal": result.p95_equal_containers[provisioner.name],
-                "imbalance": result.imbalance[provisioner.name],
-            }
-        )
+    for row in run_cells(_provisioner_search, cells, workers):
+        name = row["provisioner"]
+        result.containers_needed[name] = row["containers"]
+        result.p95_equal_containers[name] = row["p95_equal"]
+        result.imbalance[name] = row["imbalance"]
+        result.rows.append(dict(row))
     return result

@@ -1,0 +1,83 @@
+"""Deterministic process-parallel execution of independent experiment cells.
+
+Every sweep in the experiment layer — the static (workload × SLA × scheme)
+grid, the offline profiling load sweep, the interference provisioner
+search, the δ sweep — evaluates *independent* simulation cells: each cell
+carries its own seed and shares no state with its neighbours.  That makes
+them embarrassingly parallel, and — because a cell's result is a pure
+function of its payload — exactly reproducible: a ``workers=N`` run
+returns the same values as ``workers=1``, cell for cell.
+
+:func:`run_cells` is the one primitive.  It maps a *top-level, picklable*
+function over a list of cell payloads on a ``ProcessPoolExecutor``,
+preserving input order, and falls back to the serial path whenever
+multiprocessing is not worth it (one worker, one cell) or not available
+(sandboxes without ``fork``/semaphores, unpicklable payloads, a broken
+pool).  Callers therefore never need their own serial branch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, List, Sequence, TypeVar
+
+Cell = TypeVar("Cell")
+Result = TypeVar("Result")
+
+__all__ = ["default_workers", "run_cells"]
+
+
+def default_workers() -> int:
+    """Worker count used for ``workers=0``: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_serial(fn: Callable[[Cell], Result], cells: Sequence[Cell]) -> List[Result]:
+    return [fn(cell) for cell in cells]
+
+
+def run_cells(
+    fn: Callable[[Cell], Result],
+    cells: Sequence[Cell],
+    workers: int = 1,
+) -> List[Result]:
+    """Evaluate ``fn`` over ``cells``, order-preserving, optionally parallel.
+
+    Args:
+        fn: A **module-level** function (it must pickle) taking one cell
+            payload.  For determinism the payload must carry everything
+            the cell needs, including its RNG seed.
+        cells: Cell payloads; results come back in the same order.
+        workers: Process count.  ``<= 1`` runs serially in-process;
+            ``0`` means "one per CPU" (:func:`default_workers`).
+
+    Returns:
+        ``[fn(cell) for cell in cells]`` — by construction the parallel
+        path returns exactly this, so serial and parallel runs are
+        interchangeable.
+    """
+    cells = list(cells)
+    if workers == 0:
+        workers = default_workers()
+    if workers <= 1 or len(cells) <= 1:
+        return _run_serial(fn, cells)
+
+    try:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return _run_serial(fn, cells)
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            return list(pool.map(fn, cells))
+    except (
+        OSError,  # no fork / no POSIX semaphores (restricted sandboxes)
+        PermissionError,
+        BrokenExecutor,  # includes BrokenProcessPool
+        pickle.PicklingError,
+        AttributeError,  # fn not importable from the worker (not top-level)
+        RuntimeError,  # e.g. missing __main__ guard on some start methods
+    ):
+        # The pool could not run this workload; the serial path always can.
+        return _run_serial(fn, cells)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.model import InfeasibleSLAError, MicroserviceProfile
 from repro.core.scaling import Autoscaler
 from repro.experiments.harness import evaluate_allocation
+from repro.experiments.parallel import run_cells
 from repro.workloads.deathstarbench import Application
 
 
@@ -69,6 +70,38 @@ class StaticSweepResult:
         return 1.0 - ours / theirs
 
 
+def _simulate_static_cell(cell: Dict) -> Dict:
+    """Replay one grid cell's allocation (top-level so it pickles).
+
+    The payload carries everything the cell needs — specs, ground truth,
+    allocation, multipliers, and the seed — so the result is a pure
+    function of the cell and identical whether it runs in-process or in a
+    worker process.
+    """
+    sim = evaluate_allocation(
+        cell["specs"],
+        cell["simulated"],
+        cell["allocation"],
+        duration_min=cell["duration_min"],
+        warmup_min=cell["warmup_min"],
+        seed=cell["seed"],
+        container_multipliers=cell["multipliers"],
+    )
+    violations = []
+    p95s = []
+    for spec in cell["specs"]:
+        if sim.completed.get(spec.name, 0) == 0:
+            continue
+        violations.append(sim.sla_violation_rate(spec.name, spec.sla))
+        p95s.append(sim.tail_latency(spec.name))
+    if not violations:
+        return {"violation": None, "p95": None}
+    return {
+        "violation": float(np.mean(violations)),
+        "p95": float(np.mean(p95s)),
+    }
+
+
 def run_static_sweep(
     app: Application,
     schemes: Sequence[Autoscaler],
@@ -81,6 +114,7 @@ def run_static_sweep(
     seed: int = 0,
     interference_multiplier: float = 1.0,
     historic_multiplier: Optional[float] = None,
+    workers: int = 1,
 ) -> StaticSweepResult:
     """Run the full (workload × SLA × scheme) grid.
 
@@ -102,6 +136,10 @@ def run_static_sweep(
             current level) — the paper's §2.2 critique that fixed
             statistics do not track interference.  The simulator replays
             everyone at the true level.
+        workers: Process count for the simulation replays (``0`` = one per
+            CPU).  Allocations always run serially — schemes are stateful
+            (``reset()``/``scale()``) — then the independent per-cell
+            simulations fan out; results are identical to ``workers=1``.
 
     Returns:
         A :class:`StaticSweepResult`; infeasible (SLA below latency floor)
@@ -116,7 +154,10 @@ def run_static_sweep(
         if interference_multiplier != 1.0
         else profiles
     )
+    # Pass 1 (serial): allocations.  Schemes are stateful, so reset/scale
+    # must run in grid order; this pass is cheap relative to simulation.
     result = StaticSweepResult()
+    cells: List[Dict] = []
     for workload in workloads:
         for sla in slas:
             specs = app.with_workloads(
@@ -139,6 +180,7 @@ def run_static_sweep(
                     "violation": None,
                     "p95": None,
                 }
+                result.rows.append(row)
                 if simulate:
                     multipliers = None
                     if interference_multiplier != 1.0:
@@ -146,26 +188,27 @@ def run_static_sweep(
                             name: [interference_multiplier] * count
                             for name, count in allocation.containers.items()
                         }
-                    sim = evaluate_allocation(
-                        specs,
-                        app.simulated,
-                        allocation,
-                        duration_min=duration_min,
-                        warmup_min=warmup_min,
-                        seed=seed,
-                        container_multipliers=multipliers,
+                    cells.append(
+                        {
+                            "row": row,
+                            "specs": specs,
+                            "simulated": app.simulated,
+                            "allocation": allocation,
+                            "duration_min": duration_min,
+                            "warmup_min": warmup_min,
+                            "seed": seed,
+                            "multipliers": multipliers,
+                        }
                     )
-                    violations = []
-                    p95s = []
-                    for spec in specs:
-                        if sim.completed.get(spec.name, 0) == 0:
-                            continue
-                        violations.append(
-                            sim.sla_violation_rate(spec.name, spec.sla)
-                        )
-                        p95s.append(sim.tail_latency(spec.name))
-                    if violations:
-                        row["violation"] = float(np.mean(violations))
-                        row["p95"] = float(np.mean(p95s))
-                result.rows.append(row)
+
+    # Pass 2 (parallel-safe): independent simulation replays, one per
+    # cell, each fully determined by its payload + seed.
+    if cells:
+        payloads = [
+            {key: value for key, value in cell.items() if key != "row"}
+            for cell in cells
+        ]
+        for cell, measured in zip(cells, run_cells(_simulate_static_cell, payloads, workers)):
+            cell["row"]["violation"] = measured["violation"]
+            cell["row"]["p95"] = measured["p95"]
     return result

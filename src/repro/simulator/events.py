@@ -2,24 +2,30 @@
 
 A binary-heap event queue keyed by (time, sequence): ties are broken by
 insertion order, which makes simulations fully deterministic for a fixed
-RNG seed.  Callbacks receive the current simulation time.
+RNG seed.  Entries are arbitrary callables of the current simulation
+time — plain functions, bound methods, or the simulator's ``__slots__``
+event-record objects (whose ``__call__`` dispatches without allocating a
+closure per event).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, List, Tuple
 
 Callback = Callable[[float], None]
+
+_INF = float("inf")
 
 
 class EventQueue:
     """Time-ordered callback queue driving the simulation."""
 
+    __slots__ = ("_heap", "_counter", "now")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Callback]] = []
-        self._counter = itertools.count()
+        self._counter = 0
         self.now: float = 0.0
 
     def schedule(self, time: float, callback: Callback) -> None:
@@ -28,7 +34,20 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
+        count = self._counter
+        self._counter = count + 1
+        heapq.heappush(self._heap, (time, count, callback))
+
+    def push(self, time: float, callback: Callback) -> None:
+        """Fast-path schedule: no past-check.
+
+        The simulator's hot path computes ``time`` as ``now + delay`` with
+        a non-negative delay, so the guard in :meth:`schedule` is
+        redundant there.
+        """
+        count = self._counter
+        self._counter = count + 1
+        heapq.heappush(self._heap, (time, count, callback))
 
     def schedule_in(self, delay: float, callback: Callback) -> None:
         """Schedule ``callback`` after ``delay`` ms from now."""
@@ -44,12 +63,24 @@ class EventQueue:
 
         Returns the number of events processed.  Events scheduled exactly
         at ``end_time`` are still processed; later ones remain queued.
+
+        Draining with ``end_time=inf`` leaves ``now`` at the time of the
+        last processed event (not at infinity), so a drained queue can be
+        reused — e.g. the autoscaled loop scheduling follow-up work after
+        a drain.
         """
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
-        while self._heap and self._heap[0][0] <= end_time:
-            time, _, callback = heapq.heappop(self._heap)
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
+            if time > end_time:
+                heapq.heappush(heap, entry)
+                break
             self.now = time
-            callback(time)
+            entry[2](time)
             processed += 1
-        self.now = max(self.now, end_time)
+        if end_time != _INF and end_time > self.now:
+            self.now = end_time
         return processed

@@ -17,11 +17,32 @@ Request lifecycle at a call node:
 The *own latency* of a microservice — queueing plus processing — matches
 the quantity the tracing coordinator extracts via paper Eq. 1, and its
 P95-vs-load curve has the paper's piecewise-linear shape.
+
+Engine fast path
+----------------
+
+The hot loop avoids per-event closure allocation: arrivals, completions,
+and stage joins are ``__slots__`` record objects whose ``__call__`` the
+:class:`~repro.simulator.events.EventQueue` dispatches directly, and
+completion records are recycled through a free list.  RNG draws are
+batched: unit exponentials per microservice (service times) and
+pre-scaled inter-arrival gaps per service (static rates) are drawn in
+vectorized numpy blocks, refilled on exhaustion.  Containers with a
+static interference multiplier precompute their mean service time so the
+``callable()`` check never touches the per-job path.  Latency samples
+append to flat ``array('d')`` column buffers; the tuple-list views
+(``end_to_end``, ``own_latency``) are materialized lazily.  For a fixed
+seed the engine remains fully deterministic, but its draw order differs
+from the pre-fast-path engine, so sample streams match only within the
+same engine version (pinned by ``tests/test_determinism_golden.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from collections import defaultdict
+from dataclasses import dataclass
+from heapq import heappush
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -36,6 +57,7 @@ from repro.simulator.scheduler import FCFSQueue, PriorityQueuePolicy, QueuePolic
 RateSpec = Union[float, Callable[[float], float]]
 
 _MS_PER_MINUTE = 60_000.0
+_RNG_BLOCK = 1024  # exponential draws per vectorized refill
 
 
 @dataclass(frozen=True)
@@ -88,19 +110,19 @@ class SimulationConfig:
 class _Job:
     """One call awaiting processing at a container."""
 
-    __slots__ = ("service", "node", "arrival", "on_processed")
+    __slots__ = ("service", "node", "arrival", "done")
 
     def __init__(
         self,
         service: str,
         node: CallNode,
         arrival: float,
-        on_processed: Callable[[float, float], None],
+        done: Callable[[float], None],
     ):
         self.service = service
         self.node = node
         self.arrival = arrival
-        self.on_processed = on_processed
+        self.done = done
 
 
 class _Container:
@@ -108,38 +130,66 @@ class _Container:
 
     ``multiplier`` may be a float (static colocation level) or a callable
     of the current simulation minute (iBench-style injection schedules,
-    paper §6.2 fixes a level per hour).
+    paper §6.2 fixes a level per hour).  The static case precomputes
+    ``mean_ms`` so the dispatch loop never re-checks ``callable()``;
+    ``fifo`` exposes the FCFS deque directly so the dominant policy skips
+    two method calls per job.
     """
 
-    __slots__ = ("queue", "free_threads", "multiplier")
+    __slots__ = ("queue", "fifo", "free_threads", "multiplier", "static_mult", "mean_ms")
 
-    def __init__(self, queue: QueuePolicy, threads: int, multiplier):
+    def __init__(self, queue: QueuePolicy, threads: int, base_ms: float, multiplier):
         self.queue = queue
+        self.fifo = queue._queue if type(queue) is FCFSQueue else None
         self.free_threads = threads
-        self.multiplier = multiplier
+        if callable(multiplier):
+            self.multiplier = multiplier
+            self.static_mult = None
+            self.mean_ms = None
+        else:
+            self.multiplier = float(multiplier)
+            self.static_mult = float(multiplier)
+            self.mean_ms = base_ms * float(multiplier)
 
     def multiplier_at(self, now_ms: float) -> float:
-        if callable(self.multiplier):
-            return float(self.multiplier(now_ms / _MS_PER_MINUTE))
-        return float(self.multiplier)
+        if self.static_mult is not None:
+            return self.static_mult
+        return float(self.multiplier(now_ms / _MS_PER_MINUTE))
 
 
 class _MicroserviceState:
     """All containers of one microservice plus dispatch bookkeeping."""
 
-    __slots__ = ("spec", "containers", "_next")
+    __slots__ = (
+        "spec",
+        "containers",
+        "_next",
+        "base_ms",
+        "exp_buf",
+        "exp_i",
+        "own_min",
+        "own_lat",
+        "per_minute",
+    )
 
     def __init__(self, spec: SimulatedMicroservice, containers: List[_Container]):
         self.spec = spec
         self.containers = containers
         self._next = 0
+        self.base_ms = spec.base_service_ms
+        self.exp_buf: List[float] = []  # unit exponentials (service times)
+        self.exp_i = 0
+        self.own_min: Optional[array] = None  # wired when recording
+        self.own_lat: Optional[array] = None
+        self.per_minute: Optional[Dict[int, int]] = None
 
     def pick(self) -> _Container:
-        if self._next >= len(self.containers):
-            self._next = 0
-        container = self.containers[self._next]
-        self._next = (self._next + 1) % len(self.containers)
-        return container
+        containers = self.containers
+        index = self._next
+        if index >= len(containers):
+            index = 0
+        self._next = index + 1
+        return containers[index]
 
     def add(self, container: _Container) -> None:
         self.containers.append(container)
@@ -151,30 +201,78 @@ class _MicroserviceState:
         return self.containers.pop()
 
 
-@dataclass
 class SimulationResult:
-    """Everything measured during one run."""
+    """Everything measured during one run.
 
-    duration_min: float
-    warmup_min: float
-    generated: Dict[str, int] = field(default_factory=dict)
-    completed: Dict[str, int] = field(default_factory=dict)
-    #: Per service: (completion minute, end-to-end latency ms) pairs.
-    end_to_end: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
-    #: Per microservice: (minute, own latency ms) pairs.
-    own_latency: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
-    #: Per microservice: calls completed per minute index.
-    calls_per_minute: Dict[str, Dict[int, int]] = field(default_factory=dict)
-    containers: Dict[str, int] = field(default_factory=dict)
+    The recording hot path appends to flat ``array('d')`` column buffers;
+    ``end_to_end`` and ``own_latency`` materialize the familiar
+    ``{name: [(minute, latency_ms), ...]}`` views lazily on access, and
+    ``latencies()`` / ``own_latency_percentile()`` read the columns
+    directly without building tuples.
+    """
 
+    def __init__(self, duration_min: float, warmup_min: float):
+        self.duration_min = duration_min
+        self.warmup_min = warmup_min
+        self.generated: Dict[str, int] = {}
+        self.completed: Dict[str, int] = {}
+        #: Per microservice: calls completed per minute index.
+        self.calls_per_minute: Dict[str, Dict[int, int]] = {}
+        self.containers: Dict[str, int] = {}
+        #: Events the engine processed to produce this result (perf metric).
+        self.events_processed: int = 0
+        self._e2e: Dict[str, Tuple[array, array]] = {}
+        self._own: Dict[str, Tuple[array, array]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(duration_min={self.duration_min}, "
+            f"warmup_min={self.warmup_min}, generated={self.generated}, "
+            f"completed={self.completed}, containers={self.containers})"
+        )
+
+    # -- column buffers (engine-internal) ------------------------------
+    def _e2e_buffers(self, service: str) -> Tuple[array, array]:
+        pair = self._e2e.get(service)
+        if pair is None:
+            pair = self._e2e[service] = (array("d"), array("d"))
+        return pair
+
+    def _own_buffers(self, name: str) -> Tuple[array, array]:
+        pair = self._own.get(name)
+        if pair is None:
+            pair = self._own[name] = (array("d"), array("d"))
+        return pair
+
+    # -- tuple-list views (lazy; same shape as the pre-fast-path engine)
+    @property
+    def end_to_end(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Per service: (completion minute, end-to-end latency ms) pairs."""
+        return {
+            service: list(zip(minutes, values))
+            for service, (minutes, values) in self._e2e.items()
+        }
+
+    @property
+    def own_latency(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Per microservice: (minute, own latency ms) pairs."""
+        return {
+            name: list(zip(minutes, values))
+            for name, (minutes, values) in self._own.items()
+        }
+
+    # -- measurements ---------------------------------------------------
     def latencies(self, service: str, include_warmup: bool = False) -> np.ndarray:
         """End-to-end latency samples of one service (post-warmup)."""
-        samples = self.end_to_end.get(service, [])
+        pair = self._e2e.get(service)
+        if pair is None:
+            return np.array([])
+        minutes_arr, values_arr = pair
+        values = np.frombuffer(values_arr, dtype=np.float64)
         if include_warmup:
-            return np.array([latency for _, latency in samples])
-        return np.array(
-            [lat for minute, lat in samples if minute >= self.warmup_min]
-        )
+            return values.copy()
+        minutes = np.frombuffer(minutes_arr, dtype=np.float64)
+        return values[minutes >= self.warmup_min]
 
     def tail_latency(self, service: str, percentile: float = 95.0) -> float:
         """P-th percentile end-to-end latency of one service."""
@@ -193,12 +291,14 @@ class SimulationResult:
     def own_latency_percentile(
         self, microservice: str, percentile: float = 95.0
     ) -> float:
-        samples = [
-            lat
-            for minute, lat in self.own_latency.get(microservice, [])
-            if minute >= self.warmup_min
-        ]
-        if not samples:
+        pair = self._own.get(microservice)
+        if pair is not None:
+            minutes = np.frombuffer(pair[0], dtype=np.float64)
+            values = np.frombuffer(pair[1], dtype=np.float64)
+            samples = values[minutes >= self.warmup_min]
+        else:
+            samples = np.array([])
+        if len(samples) == 0:
             raise ValueError(f"no own-latency samples for {microservice!r}")
         return float(np.percentile(samples, percentile))
 
@@ -225,8 +325,8 @@ class SimulationResult:
         # that corrupt the piecewise fit.
         first = self.warmup_min
         last = self.duration_min
-        for name, samples in self.own_latency.items():
-            for minute, latency in samples:
+        for name, (minutes, values) in self._own.items():
+            for minute, latency in zip(minutes, values):
                 if first <= minute < last:
                     store.record_latency(minute, name, latency)
         for name, per_minute in self.calls_per_minute.items():
@@ -241,6 +341,309 @@ class SimulationResult:
                 float(minute), host_id, cpu_utilization, memory_utilization
             )
         return store
+
+
+class _RequestDone:
+    """End-of-request continuation: counts completion, records latency.
+
+    Recycled through its arrival process's free list: all fields except
+    ``start`` are per-service constants, so reuse is a pop plus one store.
+    The pool is bounded by the peak number of in-flight requests.
+    """
+
+    __slots__ = ("pool", "completed", "name", "minutes", "values", "start")
+
+    def __init__(self, pool, completed, name, minutes, values, start):
+        self.pool = pool
+        self.completed = completed
+        self.name = name
+        self.minutes = minutes
+        self.values = values
+        self.start = start
+
+    def __call__(self, finish: float) -> None:
+        self.completed[self.name] += 1
+        self.minutes.append(finish / _MS_PER_MINUTE)
+        self.values.append(finish - self.start)
+        self.pool.append(self)
+
+
+class _StageFrame:
+    """Join point for one stage's parallel calls (callable as child-done)."""
+
+    __slots__ = ("sim", "service", "node", "next_stage", "pending", "latest", "done")
+
+    def __init__(self, sim, service, node, next_stage, pending, latest, done):
+        self.sim = sim
+        self.service = service
+        self.node = node
+        self.next_stage = next_stage
+        self.pending = pending
+        self.latest = latest
+        self.done = done
+
+    def __call__(self, finish: float) -> None:
+        if finish > self.latest:
+            self.latest = finish
+        pending = self.pending - 1
+        self.pending = pending
+        if pending == 0:
+            self.sim._run_stages(
+                self.service, self.node, self.next_stage, self.latest, self.done
+            )
+
+
+class _Completion:
+    """Thread-release event for one processed job (recycled via free list).
+
+    Carries the job fields directly so the uncontended fast path in
+    ``ClusterSimulator._execute_node`` never allocates a :class:`_Job`.
+    """
+
+    __slots__ = ("sim", "container", "state", "service", "node", "arrival", "done")
+
+    def __init__(self, sim, container, state, service, node, arrival, done):
+        self.sim = sim
+        self.container = container
+        self.state = state
+        self.service = service
+        self.node = node
+        self.arrival = arrival
+        self.done = done
+
+    def __call__(self, finish: float) -> None:
+        sim = self.sim
+        container = self.container
+        state = self.state
+        service = self.service
+        node = self.node
+        arrival = self.arrival
+        done = self.done
+        container.free_threads += 1
+        own_min = state.own_min
+        if own_min is not None:
+            minute = finish / _MS_PER_MINUTE
+            own_min.append(minute)
+            state.own_lat.append(finish - arrival)
+            state.per_minute[int(minute)] += 1
+        if node.stages:
+            sim._run_stages(service, node, 0, finish, done)
+        else:
+            done(finish)
+        fifo = container.fifo
+        if fifo is not None:
+            if fifo and container.free_threads > 0:
+                # Inline single-job start, reusing this record for the
+                # next job on the same container: the saturated hot path
+                # (complete one job, immediately start the next).
+                # ``events.now == finish`` for the whole callback.
+                job = fifo.popleft()
+                container.free_threads -= 1
+                mean_ms = container.mean_ms
+                if mean_ms is None:
+                    mean_ms = state.base_ms * float(
+                        container.multiplier(finish / _MS_PER_MINUTE)
+                    )
+                exp_i = state.exp_i
+                buf = state.exp_buf
+                if exp_i >= len(buf):
+                    buf = state.exp_buf = sim.rng.exponential(
+                        1.0, _RNG_BLOCK
+                    ).tolist()
+                    exp_i = 0
+                state.exp_i = exp_i + 1
+                self.service = job.service
+                self.node = job.node
+                self.arrival = job.arrival
+                self.done = job.done
+                events = sim.events
+                count = events._counter
+                events._counter = count + 1
+                heappush(
+                    events._heap, (finish + buf[exp_i] * mean_ms, count, self)
+                )
+                if fifo and container.free_threads > 0:
+                    sim._dispatch(state, container)
+                return
+            sim._completion_pool.append(self)  # bounded by peak in-flight
+        else:
+            sim._completion_pool.append(self)
+            if len(container.queue) > 0 and container.free_threads > 0:
+                sim._dispatch(state, container)
+
+
+class _Arrival:
+    """Self-rescheduling Poisson arrival process of one service.
+
+    Static positive rates pre-draw inter-arrival gaps (already scaled by
+    the mean gap) in numpy blocks; dynamic rates re-evaluate the rate
+    callable per arrival and scale a shared unit-exponential draw.
+    """
+
+    __slots__ = (
+        "sim",
+        "spec",
+        "name",
+        "root",
+        "root_state",
+        "end_ms",
+        "events",
+        "rate_spec",
+        "mean_gap",
+        "gap_buf",
+        "gap_i",
+        "generated",
+        "completed",
+        "e2e_minutes",
+        "e2e_values",
+        "done_pool",
+    )
+
+    def __init__(self, sim: "ClusterSimulator", spec: ServiceSpec, end_ms: float):
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        self.root = spec.graph.root
+        self.root_state = sim._microservices[self.root.microservice]
+        self.end_ms = end_ms
+        self.events = sim.events
+        rate_spec = sim._rates.get(spec.name, 0.0)
+        if callable(rate_spec):
+            self.rate_spec = rate_spec
+            self.mean_gap = None
+        else:
+            self.rate_spec = None
+            rate = float(rate_spec)
+            self.mean_gap = _MS_PER_MINUTE / rate if rate > 0.0 else None
+        self.gap_buf: List[float] = []
+        self.gap_i = 0
+        result = sim.result
+        self.generated = result.generated
+        self.completed = result.completed
+        self.e2e_minutes, self.e2e_values = result._e2e_buffers(spec.name)
+        self.done_pool: List[_RequestDone] = []
+
+    def __call__(self, t: float) -> None:
+        name = self.name
+        self.generated[name] += 1
+        pool = self.done_pool
+        if pool:
+            done = pool.pop()
+            done.start = t
+        else:
+            done = _RequestDone(
+                pool, self.completed, name, self.e2e_minutes, self.e2e_values, t
+            )
+        # Inline root-node execution on the cached root state: same logic
+        # as ``ClusterSimulator._execute_node`` minus the per-request
+        # microservice lookup and call overhead.
+        sim = self.sim
+        node = self.root
+        state = self.root_state
+        containers = state.containers
+        index = state._next
+        if index >= len(containers):
+            index = 0
+        state._next = index + 1
+        container = containers[index]
+        fifo = container.fifo
+        free = container.free_threads
+        if fifo is not None:
+            if free > 0 and not fifo:
+                container.free_threads = free - 1
+                mean_ms = container.mean_ms
+                if mean_ms is None:
+                    mean_ms = state.base_ms * float(
+                        container.multiplier(t / _MS_PER_MINUTE)
+                    )
+                exp_i = state.exp_i
+                exp_buf = state.exp_buf
+                if exp_i >= len(exp_buf):
+                    exp_buf = state.exp_buf = sim.rng.exponential(
+                        1.0, _RNG_BLOCK
+                    ).tolist()
+                    exp_i = 0
+                state.exp_i = exp_i + 1
+                cpool = sim._completion_pool
+                if cpool:
+                    event = cpool.pop()
+                    event.container = container
+                    event.state = state
+                    event.service = name
+                    event.node = node
+                    event.arrival = t
+                    event.done = done
+                else:
+                    event = _Completion(
+                        sim, container, state, name, node, t, done
+                    )
+                events = self.events
+                count = events._counter
+                events._counter = count + 1
+                heappush(
+                    events._heap, (t + exp_buf[exp_i] * mean_ms, count, event)
+                )
+            else:
+                fifo.append(_Job(name, node, t, done))
+                if free > 0:
+                    sim._dispatch(state, container)
+        else:
+            container.queue.push(_Job(name, node, t, done), name)
+            if free > 0:
+                sim._dispatch(state, container)
+        mean_gap = self.mean_gap
+        if mean_gap is not None:
+            # Static positive rate: batched, pre-scaled gap draws.
+            index = self.gap_i
+            buf = self.gap_buf
+            if index >= len(buf):
+                buf = self.gap_buf = self.sim.rng.exponential(
+                    mean_gap, _RNG_BLOCK
+                ).tolist()
+                index = 0
+            self.gap_i = index + 1
+            arrival = t + buf[index]
+            if arrival <= self.end_ms:
+                events = self.events
+                count = events._counter
+                events._counter = count + 1
+                heappush(events._heap, (arrival, count, self))
+            return
+        self._schedule_dynamic(t)
+
+    def schedule_next(self, now: float) -> None:
+        """Schedule the next arrival after ``now`` (also the initial kick)."""
+        mean_gap = self.mean_gap
+        if mean_gap is not None:
+            # Static positive rate: batched, pre-scaled gap draws.
+            index = self.gap_i
+            buf = self.gap_buf
+            if index >= len(buf):
+                buf = self.gap_buf = self.sim.rng.exponential(
+                    mean_gap, _RNG_BLOCK
+                ).tolist()
+                index = 0
+            self.gap_i = index + 1
+            arrival = now + buf[index]
+            if arrival <= self.end_ms:
+                self.events.push(arrival, self)
+            return
+        self._schedule_dynamic(now)
+
+    def _schedule_dynamic(self, now: float) -> None:
+        rate_spec = self.rate_spec
+        if rate_spec is None:
+            return  # static zero rate: no arrivals, ever
+        rate = float(rate_spec(now / _MS_PER_MINUTE))
+        if rate <= 0.0:
+            # Re-probe one minute later (a dynamic rate may become positive).
+            if now + _MS_PER_MINUTE <= self.end_ms:
+                self.events.push(now + _MS_PER_MINUTE, self.schedule_next)
+            return
+        gap = self.sim._draw_unit() * (_MS_PER_MINUTE / rate)
+        arrival = now + gap
+        if arrival <= self.end_ms:
+            self.events.push(arrival, self)
 
 
 class ClusterSimulator:
@@ -283,6 +686,12 @@ class ClusterSimulator:
         )
         self._rates: Dict[str, RateSpec] = dict(rates)
         self._arrivals_open = True
+        self._completion_pool: List[_Completion] = []
+        self._unit_buf: List[float] = []
+        self._unit_i = 0
+        #: id(node) -> (node, per-stage expanded call lists); the node ref
+        #: keeps the id stable for the simulator's lifetime.
+        self._stage_cache: Dict[int, Tuple[CallNode, List[List[CallNode]]]] = {}
 
         self._microservices: Dict[str, _MicroserviceState] = {}
         needed = {
@@ -310,7 +719,12 @@ class ClusterSimulator:
                     )
                 multipliers = [1.0] * count
             container_objs = [
-                _Container(self._make_queue(name), spec.threads, multiplier)
+                _Container(
+                    self._make_queue(name),
+                    spec.threads,
+                    spec.base_service_ms,
+                    multiplier,
+                )
                 for multiplier in multipliers
             ]
             self._microservices[name] = _MicroserviceState(spec, container_objs)
@@ -324,6 +738,16 @@ class ClusterSimulator:
                     ranks, delta=self.config.delta, rng=self.rng
                 )
         return FCFSQueue()
+
+    def _draw_unit(self) -> float:
+        """One unit-exponential draw from the shared batched stream."""
+        index = self._unit_i
+        buf = self._unit_buf
+        if index >= len(buf):
+            buf = self._unit_buf = self.rng.exponential(1.0, _RNG_BLOCK).tolist()
+            index = 0
+        self._unit_i = index + 1
+        return buf[index]
 
     # ------------------------------------------------------------------
     # Dynamic scaling (used by the in-simulation autoscaling loop)
@@ -352,7 +776,10 @@ class ClusterSimulator:
         delta = target - len(state.containers)
         for _ in range(max(delta, 0)):
             container = _Container(
-                self._make_queue(microservice), state.spec.threads, multiplier
+                self._make_queue(microservice),
+                state.spec.threads,
+                state.base_ms,
+                multiplier,
             )
 
             def _join(_t: float, c: _Container = container) -> None:
@@ -412,55 +839,29 @@ class ClusterSimulator:
     def run(self) -> SimulationResult:
         """Generate arrivals, process all events, return the result."""
         duration_ms = self.config.duration_min * _MS_PER_MINUTE
+        result = self.result
+        if self.config.record_own_latency:
+            for name, state in self._microservices.items():
+                state.own_min, state.own_lat = result._own_buffers(name)
+                state.per_minute = result.calls_per_minute.setdefault(
+                    name, defaultdict(int)
+                )
         for spec in self.services:
-            self.result.generated[spec.name] = 0
-            self.result.completed[spec.name] = 0
-            self.result.end_to_end[spec.name] = []
-            self._schedule_next_arrival(spec, 0.0, duration_ms)
+            result.generated[spec.name] = 0
+            result.completed[spec.name] = 0
+            result._e2e_buffers(spec.name)
+            _Arrival(self, spec, duration_ms).schedule_next(0.0)
 
-        self.events.run_until(duration_ms)
+        processed = self.events.run_until(duration_ms)
         self._arrivals_open = False
         if self.config.drain:
-            self.events.run_until(float("inf"))
-        return self.result
-
-    def _schedule_next_arrival(
-        self, spec: ServiceSpec, now: float, end_ms: float
-    ) -> None:
-        rate_spec = self._rates.get(spec.name, 0.0)
-        minute = now / _MS_PER_MINUTE
-        rate = rate_spec(minute) if callable(rate_spec) else float(rate_spec)
-        if rate <= 0.0:
-            # Re-probe one minute later (a dynamic rate may become positive).
-            if callable(rate_spec) and now + _MS_PER_MINUTE <= end_ms:
-                self.events.schedule(
-                    now + _MS_PER_MINUTE,
-                    lambda t, s=spec, e=end_ms: self._schedule_next_arrival(s, t, e),
-                )
-            return
-        gap = self.rng.exponential(_MS_PER_MINUTE / rate)
-        arrival = now + gap
-        if arrival > end_ms:
-            return
-
-        def _arrive(t: float, s: ServiceSpec = spec, e: float = end_ms) -> None:
-            self.result.generated[s.name] += 1
-            self._spawn_request(s, t)
-            self._schedule_next_arrival(s, t, e)
-
-        self.events.schedule(arrival, _arrive)
+            processed += self.events.run_until(float("inf"))
+        result.events_processed += processed
+        return result
 
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
-    def _spawn_request(self, spec: ServiceSpec, t: float) -> None:
-        def _done(finish: float) -> None:
-            minute = finish / _MS_PER_MINUTE
-            self.result.completed[spec.name] += 1
-            self.result.end_to_end[spec.name].append((minute, finish - t))
-
-        self._execute_node(spec.name, spec.graph.root, t, _done)
-
     def _execute_node(
         self,
         service: str,
@@ -469,48 +870,112 @@ class ClusterSimulator:
         done: Callable[[float], None],
     ) -> None:
         state = self._microservices[node.microservice]
-
-        def _processed(start: float, finish: float) -> None:
-            if self.config.record_own_latency:
-                minute = finish / _MS_PER_MINUTE
-                self.result.own_latency.setdefault(
-                    node.microservice, []
-                ).append((minute, finish - t))
-                per_minute = self.result.calls_per_minute.setdefault(
-                    node.microservice, {}
+        containers = state.containers
+        index = state._next
+        if index >= len(containers):
+            index = 0
+        state._next = index + 1
+        container = containers[index]
+        fifo = container.fifo
+        free = container.free_threads
+        if fifo is not None:
+            if free > 0 and not fifo:
+                # Uncontended FCFS fast path: start processing directly —
+                # no job object, no queue roundtrip, no dispatch call.
+                container.free_threads = free - 1
+                events = self.events
+                now = events.now
+                mean_ms = container.mean_ms
+                if mean_ms is None:
+                    mean_ms = state.base_ms * float(
+                        container.multiplier(now / _MS_PER_MINUTE)
+                    )
+                exp_i = state.exp_i
+                buf = state.exp_buf
+                if exp_i >= len(buf):
+                    buf = state.exp_buf = self.rng.exponential(
+                        1.0, _RNG_BLOCK
+                    ).tolist()
+                    exp_i = 0
+                state.exp_i = exp_i + 1
+                pool = self._completion_pool
+                if pool:
+                    event = pool.pop()
+                    event.container = container
+                    event.state = state
+                    event.service = service
+                    event.node = node
+                    event.arrival = t
+                    event.done = done
+                else:
+                    event = _Completion(
+                        self, container, state, service, node, t, done
+                    )
+                count = events._counter
+                events._counter = count + 1
+                heappush(
+                    events._heap, (now + buf[exp_i] * mean_ms, count, event)
                 )
-                per_minute[int(minute)] = per_minute.get(int(minute), 0) + 1
-            self._run_stages(service, node, 0, finish, done)
-
-        container = state.pick()
-        job = _Job(service, node, t, _processed)
-        container.queue.push(job, service)
-        self._dispatch(state, container)
+                return
+            fifo.append(_Job(service, node, t, done))
+            if free > 0:
+                self._dispatch(state, container)
+        else:
+            container.queue.push(_Job(service, node, t, done), service)
+            if free > 0:
+                self._dispatch(state, container)
 
     def _dispatch(self, state: _MicroserviceState, container: _Container) -> None:
-        while container.free_threads > 0 and len(container.queue) > 0:
-            job = container.queue.pop()
-            if job is None:
-                break
-            container.free_threads -= 1
-            mean = state.spec.base_service_ms * container.multiplier_at(
-                self.events.now
+        free = container.free_threads
+        if free <= 0:
+            return
+        events = self.events
+        heap = events._heap
+        now = events.now
+        fifo = container.fifo
+        queue = container.queue
+        pool = self._completion_pool
+        mean_ms = container.mean_ms
+        if mean_ms is None:
+            mean_ms = state.base_ms * float(
+                container.multiplier(now / _MS_PER_MINUTE)
             )
-            processing = self.rng.exponential(mean)
-            start = self.events.now
-
-            def _complete(
-                finish: float,
-                job_: "_Job" = job,
-                container_: _Container = container,
-                state_: _MicroserviceState = state,
-                start_: float = start,
-            ) -> None:
-                container_.free_threads += 1
-                job_.on_processed(start_, finish)
-                self._dispatch(state_, container_)
-
-            self.events.schedule_in(processing, _complete)
+        while free > 0:
+            if fifo is not None:
+                if not fifo:
+                    break
+                job = fifo.popleft()
+            else:
+                job = queue.pop()
+                if job is None:
+                    break
+            free -= 1
+            index = state.exp_i
+            buf = state.exp_buf
+            if index >= len(buf):
+                buf = state.exp_buf = self.rng.exponential(
+                    1.0, _RNG_BLOCK
+                ).tolist()
+                index = 0
+            state.exp_i = index + 1
+            processing = buf[index] * mean_ms
+            if pool:
+                event = pool.pop()
+                event.container = container
+                event.state = state
+                event.service = job.service
+                event.node = job.node
+                event.arrival = job.arrival
+                event.done = job.done
+            else:
+                event = _Completion(
+                    self, container, state, job.service, job.node,
+                    job.arrival, job.done,
+                )
+            count = events._counter
+            events._counter = count + 1
+            heappush(heap, (now + processing, count, event))
+        container.free_threads = free
 
     def _run_stages(
         self,
@@ -520,23 +985,28 @@ class ClusterSimulator:
         t: float,
         done: Callable[[float], None],
     ) -> None:
-        if stage_index >= len(node.stages):
-            done(t)
-            return
-        stage = node.stages[stage_index]
-        calls: List[CallNode] = []
-        for child in stage:
-            copies = max(1, int(round(child.calls_per_request)))
-            calls.extend([child] * copies)
-        pending = len(calls)
-        latest = t
-
-        def _child_done(finish: float) -> None:
-            nonlocal pending, latest
-            pending -= 1
-            latest = max(latest, finish)
-            if pending == 0:
-                self._run_stages(service, node, stage_index + 1, latest, done)
-
-        for child in calls:
-            self._execute_node(service, child, t, _child_done)
+        cached = self._stage_cache.get(id(node))
+        if cached is None:
+            expanded = [
+                [
+                    child
+                    for child in stage
+                    for _ in range(max(1, int(round(child.calls_per_request))))
+                ]
+                for stage in node.stages
+            ]
+            self._stage_cache[id(node)] = (node, expanded)
+        else:
+            expanded = cached[1]
+        total = len(expanded)
+        while stage_index < total:
+            calls = expanded[stage_index]
+            if calls:
+                frame = _StageFrame(
+                    self, service, node, stage_index + 1, len(calls), t, done
+                )
+                for child in calls:
+                    self._execute_node(service, child, t, frame)
+                return
+            stage_index += 1
+        done(t)

@@ -1,0 +1,143 @@
+"""Golden-seed determinism: the engine's exact output streams are pinned.
+
+The fast-path engine batches RNG draws and recycles event records, so its
+draw *order* differs from the pre-fast-path engine — but for a fixed seed
+it must stay byte-identical to itself across runs, Python processes, and
+future refactors.  These tests pin that contract two ways:
+
+* checked-in SHA-256 fingerprints over the generated/completed counts and
+  the raw latency sample streams of two canonical configurations (a
+  change here means the engine's sampled behaviour changed — bump the
+  fingerprints only with a deliberate engine revision);
+* ``workers=N`` process-parallel sweeps must equal ``workers=1`` serial
+  sweeps row-for-row (the parallel runner's determinism contract).
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.core import ErmsScaler
+from repro.core.model import ServiceSpec
+from repro.experiments import (
+    run_delta_sweep,
+    run_static_sweep,
+    simulate_profiling_sweep,
+)
+from repro.graphs import DependencyGraph, call
+from repro.simulator import (
+    ClusterSimulator,
+    SimulatedMicroservice,
+    SimulationConfig,
+)
+from repro.workloads import social_network
+
+#: Engine-version fingerprints (fast-path engine, PR 1).
+GOLDEN_SINGLE = "270cd4d9c5a49698191c13bfdf2b0fd0c8821c9f62ba0cf1dda9033bd25105f0"
+GOLDEN_SHARED = "289d7cd272aa2a967404f9c8554b894fd3943d8af93f5b4e761fdcb52f2344c4"
+
+
+def fingerprint(result, services, microservices):
+    """SHA-256 over counts plus raw latency sample streams (bytes)."""
+    digest = hashlib.sha256()
+    for name in services:
+        digest.update(
+            f"{name}:{result.generated[name]}:{result.completed[name]};".encode()
+        )
+        digest.update(result.latencies(name, include_warmup=True).tobytes())
+    for name in microservices:
+        pair = result._own.get(name)
+        if pair is not None:
+            digest.update(np.frombuffer(pair[1], dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def run_single():
+    spec = ServiceSpec("svc", DependencyGraph("svc", call("B")), 0.0, 100.0)
+    return ClusterSimulator(
+        [spec],
+        {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+        containers={"B": 1},
+        rates={"svc": 20_000.0},
+        config=SimulationConfig(duration_min=0.5, warmup_min=0.1, seed=123),
+    ).run()
+
+
+def run_shared():
+    s1 = ServiceSpec(
+        "s1",
+        DependencyGraph("s1", call("F", stages=[[call("P"), call("Q")]])),
+        0.0,
+        300.0,
+    )
+    s2 = ServiceSpec(
+        "s2", DependencyGraph("s2", call("G", stages=[[call("P")]])), 0.0, 300.0
+    )
+    return ClusterSimulator(
+        [s1, s2],
+        {
+            "F": SimulatedMicroservice("F", 4.0, 2),
+            "G": SimulatedMicroservice("G", 6.0, 2),
+            "P": SimulatedMicroservice("P", 3.0, 4),
+            "Q": SimulatedMicroservice("Q", 5.0, 2),
+        },
+        containers={"F": 2, "G": 2, "P": 2, "Q": 2},
+        rates={"s1": 9_000.0, "s2": 6_000.0},
+        config=SimulationConfig(duration_min=0.5, warmup_min=0.1, seed=42),
+    ).run()
+
+
+class TestGoldenFingerprints:
+    def test_single_microservice_stream_pinned(self):
+        result = run_single()
+        assert fingerprint(result, ["svc"], ["B"]) == GOLDEN_SINGLE
+
+    def test_shared_fanout_stream_pinned(self):
+        result = run_shared()
+        assert fingerprint(result, ["s1", "s2"], ["F", "G", "P", "Q"]) == (
+            GOLDEN_SHARED
+        )
+
+    def test_rerun_is_byte_identical(self):
+        first, second = run_shared(), run_shared()
+        for name in ("s1", "s2"):
+            assert np.array_equal(
+                first.latencies(name, include_warmup=True),
+                second.latencies(name, include_warmup=True),
+            )
+        assert first.generated == second.generated
+        assert first.completed == second.completed
+
+
+class TestParallelEqualsSerial:
+    def test_static_sweep_rows_identical(self):
+        app = social_network()
+        grid = dict(
+            workloads=[5_000.0, 20_000.0],
+            slas=[200.0],
+            simulate=True,
+            duration_min=0.4,
+            warmup_min=0.1,
+            seed=0,
+        )
+        serial = run_static_sweep(app, [ErmsScaler()], workers=1, **grid)
+        parallel = run_static_sweep(app, [ErmsScaler()], workers=2, **grid)
+        assert len(serial.rows) == 2
+        assert serial.rows == parallel.rows
+
+    def test_profiling_sweep_identical(self):
+        microservice = SimulatedMicroservice("B", base_service_ms=5.0, threads=2)
+        loads = [10_000.0, 16_000.0, 22_000.0]
+        _, serial = simulate_profiling_sweep(
+            microservice, loads, duration_min=0.4, warmup_min=0.1, workers=1
+        )
+        _, parallel = simulate_profiling_sweep(
+            microservice, loads, duration_min=0.4, warmup_min=0.1, workers=3
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_delta_sweep_identical(self):
+        serial = run_delta_sweep(duration_min=0.4, warmup_min=0.1, workers=1)
+        parallel = run_delta_sweep(duration_min=0.4, warmup_min=0.1, workers=2)
+        assert serial == parallel
+        assert [row["delta"] for row in serial] == [0.0, 0.05, 0.2]

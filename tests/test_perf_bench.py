@@ -1,0 +1,61 @@
+"""Perf benchmark suite tests.
+
+The smoke tests (default tier-1) check that the runner produces a
+well-formed ``BENCH_des.json`` and that the checked-in report records the
+engine speedup.  The micro-timing guard actually times the engine and is
+``perf``-marked — excluded from the default run (``-m "not perf"`` in
+``pyproject.toml``), opt in with ``pytest -m perf``.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
+
+import runner  # noqa: E402  (benchmarks/perf/runner.py)
+
+
+class TestRunnerSmoke:
+    def test_writes_well_formed_report(self, tmp_path):
+        out = tmp_path / "BENCH_des.json"
+        report = runner.run_suite(only=["trace_slice"], output=out)
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk == report
+        assert on_disk["schema"] == 1
+        slice_report = on_disk["benchmarks"]["trace_slice"]
+        assert slice_report["wall_s"] > 0
+        assert slice_report["services"] == 40
+        assert slice_report["total_containers"] > 0
+        # The checked-in seed baseline rides along in every report.
+        baseline = on_disk["baseline"]["benchmarks"]["saturation"]
+        assert baseline["events_per_sec"] > 0
+
+    def test_checked_in_report_records_speedup(self):
+        """The committed BENCH_des.json carries both engines' numbers."""
+        report = json.loads((REPO_ROOT / "BENCH_des.json").read_text())
+        current = report["benchmarks"]["saturation"]["events_per_sec"]
+        baseline = report["baseline"]["benchmarks"]["saturation"][
+            "events_per_sec"
+        ]
+        assert current > 0 and baseline > 0
+        assert report["saturation_speedup_vs_seed"] >= 3.0
+
+
+@pytest.mark.perf
+class TestMicroTimingGuard:
+    def test_saturation_throughput_floor(self):
+        """Gross engine regressions fail loudly.
+
+        The fast-path engine does ~650k events/sec on a 1-CPU container
+        (seed engine: ~214k); the floor is generous so slow shared CI
+        machines don't flake, while a return to closure-per-event
+        allocation (or worse) still trips it.
+        """
+        report = runner.bench_saturation(duration_min=1.0, trials=3)
+        assert report["events_per_sec"] >= 150_000
+        assert report["requests"] > 0

@@ -64,6 +64,29 @@ class TestEventQueue:
         with pytest.raises(ValueError, match="non-negative"):
             EventQueue().schedule_in(-1.0, lambda t: None)
 
+    def test_infinite_drain_leaves_now_at_last_event(self):
+        # Regression: run_until(inf) used to leave now == inf, making a
+        # drained-then-reused queue reject (or infinitely defer) every
+        # later schedule — e.g. the autoscaled loop's follow-up work.
+        queue = EventQueue()
+        seen = []
+        queue.schedule(3.0, lambda t: seen.append(t))
+        queue.schedule(7.0, lambda t: seen.append(t))
+        assert queue.run_until(float("inf")) == 2
+        assert queue.now == 7.0
+        # The queue stays usable after the drain.
+        queue.schedule(9.0, lambda t: seen.append(t))
+        queue.run_until(float("inf"))
+        assert seen == [3.0, 7.0, 9.0]
+        assert queue.now == 9.0
+
+    def test_infinite_drain_of_empty_queue_keeps_now_finite(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda t: None)
+        queue.run_until(5.0)
+        assert queue.run_until(float("inf")) == 0
+        assert queue.now == 5.0
+
 
 class TestFCFSQueue:
     def test_fifo_order(self):
