@@ -11,6 +11,10 @@ Three single-process benchmarks plus one parallel-grid benchmark:
   analytically: the allocation layer at fan-out.
 * ``parallel_grid`` — a small simulated static grid at ``workers=1``
   versus multi-process, reporting the grid speedup.
+* ``telemetry_overhead`` — the saturation scenario with no telemetry
+  versus a fully-enabled :class:`~repro.telemetry.TelemetrySink` (spans,
+  windows, live MetricsStore), reporting the enabled-path overhead and
+  pinning that the disabled path stays a single null-check branch.
 
 Results are written to ``BENCH_des.json`` at the repo root so the perf
 trajectory is tracked across PRs.  ``baseline_seed.json`` (checked in,
@@ -165,11 +169,67 @@ def bench_parallel_grid(workers: int = 0, seed: int = 0) -> dict:
     }
 
 
+def bench_telemetry_overhead(
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3
+) -> dict:
+    """Saturation scenario, telemetry disabled vs fully enabled.
+
+    The disabled run is the plain engine (one ``is None`` branch per hot
+    loop); the enabled run attaches a sink with span emission at 100 %
+    sampling, the live MetricsStore, and window ticks — the most
+    expensive configuration.  Best-of-N on both sides, like
+    ``bench_saturation``.
+    """
+    from repro.telemetry import TelemetryConfig, TelemetrySink
+
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+
+    def run_once(sink):
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.25, seed=seed
+            ),
+            telemetry=sink,
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        return time.perf_counter() - start, result
+
+    disabled_runs = [run_once(None) for _ in range(max(1, trials))]
+    enabled_runs = [
+        # A sink serves exactly one run; max_traces=0 measures the full
+        # span-emission cost without unbounded retention.
+        run_once(
+            TelemetrySink(
+                config=TelemetryConfig(window_min=0.25, max_traces=0)
+            )
+        )
+        for _ in range(max(1, trials))
+    ]
+    disabled_wall, disabled_result = min(disabled_runs, key=lambda p: p[0])
+    enabled_wall, enabled_result = min(enabled_runs, key=lambda p: p[0])
+    disabled_eps = disabled_result.events_processed / disabled_wall
+    enabled_eps = enabled_result.events_processed / enabled_wall
+    return {
+        "disabled_events_per_sec": round(disabled_eps, 1),
+        "enabled_events_per_sec": round(enabled_eps, 1),
+        "overhead_pct": round((1.0 - enabled_eps / disabled_eps) * 100.0, 2),
+        "disabled_wall_s": round(disabled_wall, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+    }
+
+
 BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
     "trace_slice": bench_trace_slice,
     "parallel_grid": bench_parallel_grid,
+    "telemetry_overhead": bench_telemetry_overhead,
 }
 
 

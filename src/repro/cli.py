@@ -8,8 +8,12 @@ Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
 * ``simulate`` — additionally replay the allocation on the cluster
   simulator and report tail latency and violations (``static-workload.sh``).
 * ``compare`` — the static (workload × SLA) sweep across all schemes
-  (``theoretical-resource.sh``).
+  (``theoretical-resource.sh``); ``--simulate --workers N`` replays the
+  allocations on the simulator in parallel.
 * ``trace-sim`` — the Taobao-scale synthetic evaluation (§6.5).
+* ``report`` — run the autoscaled control loop with live telemetry and
+  print/export the observability report (SLA windows, alerts, scaling
+  decisions, chrome://tracing timelines).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.core import ErmsScaler
 from repro.experiments import (
     evaluate_allocation,
     format_table,
+    render_run_report,
     run_static_sweep,
     run_trace_simulation,
 )
@@ -140,11 +145,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
         workloads=args.workloads,
         slas=args.slas,
         interference_multiplier=args.interference,
+        simulate=args.simulate,
+        duration_min=args.duration,
+        warmup_min=min(0.5, args.duration / 3),
+        seed=args.seed,
+        workers=args.workers,
     )
-    rows = [
-        {"scheme": scheme, "avg_containers": sweep.average_containers(scheme)}
-        for scheme in sweep.schemes()
-    ]
+    rows = []
+    for scheme in sweep.schemes():
+        row = {"scheme": scheme, "avg_containers": sweep.average_containers(scheme)}
+        if args.simulate:
+            row["avg_violation"] = sweep.average_violation(scheme)
+            row["avg_p95_ms"] = sweep.average_p95(scheme)
+        rows.append(row)
     print(format_table(rows, f"Static sweep on {app.name}"))
     return 0
 
@@ -152,7 +165,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_trace_sim(args: argparse.Namespace) -> int:
     workload = generate_taobao(n_services=args.services, seed=args.seed)
     schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm()]
-    result = run_trace_simulation(workload, schemes)
+    result = run_trace_simulation(workload, schemes, workers=args.workers)
     rows = [
         {
             "scheme": scheme,
@@ -166,6 +179,58 @@ def cmd_trace_sim(args: argparse.Namespace) -> int:
         f"\nErms vs GrandSLAm: "
         f"{result.reduction_factor('erms', 'grandslam'):.2f}x fewer containers"
     )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.simulator.autoscaled import AutoscaleConfig, AutoscaledSimulation
+    from repro.simulator.simulation import SimulationConfig
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        build_run_report,
+        write_chrome_trace,
+        write_run_report,
+    )
+    from repro.tracing.coordinator import TracingCoordinator
+
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    profiles = app.analytic_profiles(args.interference)
+    specs = app.with_workloads(
+        {s.name: args.workload for s in app.services}, sla=args.sla
+    )
+    sink = TelemetrySink(
+        config=TelemetryConfig(
+            window_min=args.window,
+            sampling_rate=args.sampling,
+            max_traces=args.max_traces,
+        ),
+        coordinator=TracingCoordinator(),
+    )
+    simulation = AutoscaledSimulation(
+        specs,
+        app.simulated,
+        scheme,
+        profiles,
+        rates={spec.name: args.workload for spec in specs},
+        config=SimulationConfig(
+            duration_min=args.duration,
+            warmup_min=min(0.5, args.duration / 3),
+            seed=args.seed,
+        ),
+        autoscale=AutoscaleConfig(interval_min=args.interval),
+        telemetry=sink,
+    )
+    outcome = simulation.run()
+    report = build_run_report(sink, outcome.simulation, specs)
+    print(render_run_report(report))
+    if args.output:
+        write_run_report(report, args.output)
+        print(f"\nwrote report: {args.output}")
+    if args.chrome_trace:
+        count = write_chrome_trace(sink.traces, args.chrome_trace)
+        print(f"wrote chrome trace: {args.chrome_trace} ({count} events)")
     return 0
 
 
@@ -204,12 +269,45 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[5_000.0, 20_000.0, 60_000.0])
     p_cmp.add_argument("--slas", type=float, nargs="+", default=[150.0, 250.0])
     p_cmp.add_argument("--interference", type=float, default=1.0)
+    p_cmp.add_argument("--simulate", action="store_true",
+                       help="also replay each allocation on the simulator")
+    p_cmp.add_argument("--duration", type=float, default=1.5,
+                       help="simulated minutes per replay (with --simulate)")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--workers", type=int, default=1,
+                       help="processes for the replays (0 = one per CPU)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_trace = sub.add_parser("trace-sim", help="Taobao-scale synthetic evaluation")
     p_trace.add_argument("--services", type=int, default=60)
     p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.add_argument("--workers", type=int, default=1,
+                         help="processes for the feasibility pre-filter "
+                              "(0 = one per CPU)")
     p_trace.set_defaults(func=cmd_trace_sim)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="autoscaled run with live telemetry: SLA windows, alerts, "
+             "scaling decisions",
+    )
+    add_common(p_rep)
+    p_rep.add_argument("--duration", type=float, default=3.0,
+                       help="simulated minutes")
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--interval", type=float, default=1.0,
+                       help="autoscaler reconcile interval (minutes)")
+    p_rep.add_argument("--window", type=float, default=1.0,
+                       help="SLA observation window (minutes)")
+    p_rep.add_argument("--sampling", type=float, default=1.0,
+                       help="trace head-sampling rate in (0, 1]")
+    p_rep.add_argument("--max-traces", type=int, default=1000,
+                       help="retain at most this many traces in memory")
+    p_rep.add_argument("--output", default=None,
+                       help="write the JSON run report to this path")
+    p_rep.add_argument("--chrome-trace", default=None,
+                       help="write a chrome://tracing JSON to this path")
+    p_rep.set_defaults(func=cmd_report)
 
     return parser
 

@@ -18,6 +18,7 @@ from typing import Dict, Mapping, Optional
 from repro.core.provisioning import Cluster, Provisioner
 from repro.deployment.api import ApiEvent, MockKubeApi
 from repro.deployment.objects import Pod, PodPhase
+from repro.telemetry.monitor import DecisionLog
 
 
 @dataclass
@@ -29,12 +30,17 @@ class DeploymentController:
         cluster: Host inventory (capacities + background load).
         provisioner: Chooses hosts for placements and releases.
         startup_seconds: Container cold-start time (paper: seconds).
+        audit: Optional decision log; every reconcile pass that changes a
+            deployment's pod count appends one record per microservice
+            (declared replicas, actual delta, reason), so rollouts are
+            explainable alongside the in-DES autoscaler's decisions.
     """
 
     api: MockKubeApi
     cluster: Cluster
     provisioner: Provisioner
     startup_seconds: float = 3.0
+    audit: Optional[DecisionLog] = None
     _clock: float = field(default=0.0, repr=False)
 
     # ------------------------------------------------------------------
@@ -60,6 +66,15 @@ class DeploymentController:
                 self._scale_down_one(microservice)
             if delta:
                 deltas[microservice] = delta
+                if self.audit is not None:
+                    self.audit.record(
+                        minute=self._clock / 60.0,
+                        actor="controller",
+                        microservice=microservice,
+                        before=current,
+                        after=deployment.replicas,
+                        reason="reconcile pods to declared replicas",
+                    )
         return deltas
 
     def tick(self, seconds: float) -> int:

@@ -13,7 +13,7 @@ from repro.experiments.harness import (
     simulate_profiling_sweep,
 )
 from repro.experiments.parallel import default_workers, run_cells
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, render_run_report
 from repro.experiments.plots import bar_chart, cdf_table, sparkline
 from repro.experiments.static import StaticSweepResult, run_static_sweep
 from repro.experiments.dynamic import DynamicResult, run_dynamic_workload
@@ -31,6 +31,7 @@ __all__ = [
     "run_delta_sweep",
     "simulate_profiling_sweep",
     "format_table",
+    "render_run_report",
     "bar_chart",
     "cdf_table",
     "sparkline",

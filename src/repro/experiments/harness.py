@@ -36,11 +36,14 @@ def evaluate_allocation(
     seed: int = 0,
     delta: float = 0.05,
     container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
+    telemetry=None,
 ) -> SimulationResult:
     """Run one allocation on the simulator and return the measurements.
 
     Priority scheduling is enabled automatically when the allocation
-    carries priorities (i.e. was produced by full Erms).
+    carries priorities (i.e. was produced by full Erms).  Pass a
+    :class:`~repro.telemetry.TelemetrySink` as ``telemetry`` to collect
+    live spans, windowed metrics, and SLA alerts from the evaluation run.
     """
     scheduling = "priority" if allocation.priorities else "fcfs"
     config = SimulationConfig(
@@ -61,6 +64,7 @@ def evaluate_allocation(
         config=config,
         priorities=allocation.priorities,
         container_multipliers=container_multipliers,
+        telemetry=telemetry,
     )
     return simulator.run()
 

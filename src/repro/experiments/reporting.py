@@ -2,12 +2,14 @@
 
 The paper's figures become printed tables in this reproduction; every
 benchmark prints the rows it would plot, so `pytest benchmarks/ -s` shows
-the paper-style numbers.
+the paper-style numbers.  :func:`render_run_report` turns a telemetry
+run report (:func:`repro.telemetry.build_run_report`) into the same
+table style for ``python -m repro report``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 
 def format_table(
@@ -49,3 +51,73 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
     return "\n".join(lines)
+
+
+def render_run_report(report: Mapping[str, Any]) -> str:
+    """Render a telemetry run report as readable text tables.
+
+    Sections (each skipped when empty): per-service outcomes, the SLA
+    monitor's window timeline, alerts, and the scaling decision audit
+    log.  ``report`` is a :func:`repro.telemetry.build_run_report` dict.
+    """
+    sections: List[str] = []
+
+    service_rows = [
+        {
+            "service": name,
+            "generated": entry.get("generated", 0),
+            "completed": entry.get("completed", 0),
+            "sla_ms": entry.get("sla_ms", ""),
+            "p95_ms": entry.get("p95_ms", ""),
+            "violation_rate": entry.get("violation_rate", ""),
+        }
+        for name, entry in report.get("services", {}).items()
+    ]
+    if service_rows:
+        sections.append(format_table(service_rows, title="Services"))
+
+    window_rows = [
+        {
+            "service": w["service"],
+            "window": w["window"],
+            "start_min": w["start_min"],
+            "count": w["count"],
+            "violations": w["violations"],
+            "p95_ms": w["p95_ms"],
+            "sla_ms": w["sla_ms"],
+        }
+        for w in report.get("windows", [])
+    ]
+    if window_rows:
+        sections.append(format_table(window_rows, title="SLA windows"))
+
+    alert_rows: List[Dict[str, Any]] = list(report.get("alerts", []))
+    if alert_rows:
+        sections.append(format_table(alert_rows, title="Alerts"))
+    else:
+        sections.append("Alerts\n(none)")
+
+    decision_rows = [
+        {
+            "minute": d["minute"],
+            "actor": d["actor"],
+            "microservice": d["microservice"],
+            "before": d["before"],
+            "after": d["after"],
+            "delta": d["delta"],
+            "workload": d.get("workload", ""),
+            "reason": d["reason"],
+        }
+        for d in report.get("decisions", [])
+    ]
+    if decision_rows:
+        sections.append(format_table(decision_rows, title="Scaling decisions"))
+
+    summary = (
+        f"events={report.get('events_processed', 0)}  "
+        f"traces={report.get('traces_collected', 0)}/"
+        f"{report.get('traces_sampled', 0)} kept/sampled  "
+        f"duration={report.get('duration_min', 0):g} min"
+    )
+    sections.append(summary)
+    return "\n\n".join(sections)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.model import InfeasibleSLAError
 from repro.core.scaling import Autoscaler
+from repro.experiments.parallel import run_cells
 from repro.workloads.alibaba import TaobaoWorkload
 
 
@@ -51,9 +52,24 @@ class TraceSimResult:
         return float(np.mean(values <= containers))
 
 
+def _check_feasibility_batch(cell: Dict) -> List[bool]:
+    """Feasibility flags for one batch of specs (top-level so it pickles)."""
+    from repro.core.latency_targets import compute_service_targets
+
+    flags: List[bool] = []
+    for spec in cell["specs"]:
+        try:
+            compute_service_targets(spec, cell["profiles"])
+            flags.append(True)
+        except InfeasibleSLAError:
+            flags.append(False)
+    return flags
+
+
 def run_trace_simulation(
     workload: TaobaoWorkload,
     schemes: Sequence[Autoscaler],
+    workers: int = 1,
 ) -> TraceSimResult:
     """Allocate the whole population with every scheme.
 
@@ -63,19 +79,30 @@ def run_trace_simulation(
     enough for the distribution shape Fig. 16a reports.
 
     Services whose SLA is infeasible against the generated profiles are
-    skipped consistently across schemes.
+    skipped consistently across schemes.  ``workers`` fans the per-service
+    feasibility pre-filter out across processes (``0`` = one per CPU);
+    flags are order-preserving, so the feasible set — and every scheme's
+    allocation — is identical to the serial run.  The scheme allocations
+    themselves stay serial: each couples the whole population at once.
     """
-    # Pre-filter infeasible services once so every scheme sees the same set.
-    from repro.core.latency_targets import compute_service_targets
-
-    feasible = []
-    skipped = 0
-    for spec in workload.services:
-        try:
-            compute_service_targets(spec, workload.profiles)
-            feasible.append(spec)
-        except InfeasibleSLAError:
-            skipped += 1
+    # Pre-filter infeasible services once so every scheme sees the same
+    # set.  The checks are independent per service, so batch them across
+    # workers; batches keep the payload count small relative to pickling
+    # the shared profile map per cell.
+    specs = list(workload.services)
+    n_batches = max(1, min(len(specs), (workers or 8) * 4))
+    step = (len(specs) + n_batches - 1) // n_batches if specs else 1
+    batches = [
+        {"specs": specs[i : i + step], "profiles": workload.profiles}
+        for i in range(0, len(specs), step)
+    ]
+    flags = [
+        flag
+        for batch_flags in run_cells(_check_feasibility_batch, batches, workers)
+        for flag in batch_flags
+    ]
+    feasible = [spec for spec, ok in zip(specs, flags) if ok]
+    skipped = len(specs) - len(feasible)
 
     users: Dict[str, List[str]] = {}
     for spec in feasible:

@@ -78,6 +78,11 @@ class AutoscaledSimulation:
         predictor_factory: Optional per-service forecaster constructor;
             when given, the scaler plans for the predicted next-interval
             rate instead of the last observed one.
+        telemetry: Optional :class:`~repro.telemetry.TelemetrySink`; the
+            simulation emits live telemetry and every reconcile records
+            decision-audit entries (observed/planned workload, container
+            deltas, and the reason — including kept-allocation outcomes
+            on infeasible SLAs).
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class AutoscaledSimulation:
         config: Optional[SimulationConfig] = None,
         autoscale: Optional[AutoscaleConfig] = None,
         predictor_factory=None,
+        telemetry=None,
     ):
         self.specs = list(specs)
         self.scaler = scaler
@@ -114,7 +120,9 @@ class AutoscaledSimulation:
             rates=rates,
             config=self.config,
             priorities=allocation.priorities,
+            telemetry=telemetry,
         )
+        self._telemetry = telemetry
         self.result = AutoscaledResult(simulation=self.simulator.result)
         self._predictors: Dict[str, WorkloadPredictor] = {}
         if predictor_factory is not None:
@@ -155,10 +163,40 @@ class AutoscaledSimulation:
         try:
             allocation = self.scaler.scale(planning_specs, self.profiles)
         except InfeasibleSLAError:
+            if self._telemetry is not None:
+                self._telemetry.decisions.record(
+                    minute=minute,
+                    actor="autoscaler",
+                    microservice="*",
+                    before=0,
+                    after=0,
+                    reason=(
+                        f"{self.scaler.name}: SLA infeasible for observed "
+                        "workload; kept current allocation"
+                    ),
+                    workload=sum(observed.values()),
+                )
             return  # keep the current deployment
+        total_observed = sum(observed.values())
+        reason = (
+            f"{self.scaler.name} reconcile @ {minute:g} min "
+            f"(observed {total_observed:.0f} req/min)"
+        )
+        # Per-microservice latency target for the audit trail: the
+        # tightest target any service imposes on it.
+        targets: Dict[str, float] = {}
+        for per_ms in allocation.targets.values():
+            for name, value in per_ms.items():
+                if name not in targets or value < targets[name]:
+                    targets[name] = value
         for name, count in allocation.containers.items():
             self.simulator.scale_container_count(
-                name, count, startup_delay_ms=self.autoscale.startup_delay_ms
+                name,
+                count,
+                startup_delay_ms=self.autoscale.startup_delay_ms,
+                reason=reason,
+                workload=total_observed,
+                latency_target_ms=targets.get(name),
             )
         total = sum(
             self.simulator.container_count(name)

@@ -35,6 +35,19 @@ append to flat ``array('d')`` column buffers; the tuple-list views
 seed the engine remains fully deterministic, but its draw order differs
 from the pre-fast-path engine, so sample streams match only within the
 same engine version (pinned by ``tests/test_determinism_golden.py``).
+
+Live telemetry
+--------------
+
+Passing a :class:`~repro.telemetry.TelemetrySink` as ``telemetry=``
+instruments the run: requests emit CLIENT/SERVER span pairs per call,
+completions stream own latencies and per-minute call counts into a live
+``MetricsStore``, a per-window tick snapshots engine health and closes
+SLA windows, and ``scale_container_count`` records audit entries.  The
+sink never touches the engine RNG, so the pinned golden streams hold
+with telemetry on or off.  With ``telemetry=None`` (the default) each
+hot loop pays exactly one ``is not None`` branch and nothing else — the
+``telemetry_overhead`` perf benchmark guards that.
 """
 
 from __future__ import annotations
@@ -43,7 +56,17 @@ from array import array
 from collections import defaultdict
 from dataclasses import dataclass
 from heapq import heappush
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -51,6 +74,9 @@ from repro.core.model import ServiceSpec
 from repro.graphs import CallNode
 from repro.simulator.events import EventQueue
 from repro.simulator.scheduler import FCFSQueue, PriorityQueuePolicy, QueuePolicy
+
+if TYPE_CHECKING:  # avoid a runtime import cycle; the sink is duck-typed
+    from repro.telemetry.hooks import TelemetrySink
 
 #: Request arrival rate: requests/minute, constant or a function of the
 #: current minute (for dynamic workloads).
@@ -288,6 +314,45 @@ class SimulationResult:
             raise ValueError(f"no completed requests for service {service!r}")
         return float(np.mean(values > sla))
 
+    def violation_rate_by_window(
+        self,
+        service: str,
+        sla: float,
+        window_min: float = 1.0,
+        include_warmup: bool = True,
+    ) -> Dict[int, float]:
+        """Per-window fraction of requests exceeding ``sla`` ms.
+
+        The windowed counterpart of :meth:`sla_violation_rate`: requests
+        are bucketed by ``int(completion_minute / window_min)`` — the
+        same rule the live :class:`~repro.telemetry.SLAMonitor` applies,
+        so the two agree window for window on the same run.  By default
+        every recorded request is bucketed (the live monitor sees warmup
+        traffic too); with ``include_warmup=False`` only post-warmup
+        samples count, and the count-weighted average over the returned
+        windows equals :meth:`sla_violation_rate` exactly.
+
+        Returns:
+            ``{window_index: violation_fraction}`` for every non-empty
+            window, in ascending window order.
+        """
+        if window_min <= 0:
+            raise ValueError("window_min must be positive")
+        pair = self._e2e.get(service)
+        if pair is None or len(pair[0]) == 0:
+            raise ValueError(f"no completed requests for service {service!r}")
+        minutes = np.frombuffer(pair[0], dtype=np.float64)
+        values = np.frombuffer(pair[1], dtype=np.float64)
+        if not include_warmup:
+            mask = minutes >= self.warmup_min
+            minutes, values = minutes[mask], values[mask]
+        windows = (minutes / window_min).astype(int)
+        rates: Dict[int, float] = {}
+        for window in np.unique(windows):
+            in_window = values[windows == window]
+            rates[int(window)] = float(np.mean(in_window > sla))
+        return rates
+
     def own_latency_percentile(
         self, microservice: str, percentile: float = 95.0
     ) -> float:
@@ -426,6 +491,9 @@ class _Completion:
             own_min.append(minute)
             state.own_lat.append(finish - arrival)
             state.per_minute[int(minute)] += 1
+        tele = sim._telemetry
+        if tele is not None:
+            tele.record_call(state.spec.name, finish, finish - arrival)
         if node.stages:
             sim._run_stages(service, node, 0, finish, done)
         else:
@@ -497,6 +565,7 @@ class _Arrival:
         "e2e_minutes",
         "e2e_values",
         "done_pool",
+        "tele",
     )
 
     def __init__(self, sim: "ClusterSimulator", spec: ServiceSpec, end_ms: float):
@@ -522,6 +591,7 @@ class _Arrival:
         self.completed = result.completed
         self.e2e_minutes, self.e2e_values = result._e2e_buffers(spec.name)
         self.done_pool: List[_RequestDone] = []
+        self.tele = sim._telemetry
 
     def __call__(self, t: float) -> None:
         name = self.name
@@ -534,6 +604,9 @@ class _Arrival:
             done = _RequestDone(
                 pool, self.completed, name, self.e2e_minutes, self.e2e_values, t
             )
+        tele = self.tele
+        if tele is not None:
+            done = tele.wrap_root(name, self.root, t, done)
         # Inline root-node execution on the cached root state: same logic
         # as ``ClusterSimulator._execute_node`` minus the per-request
         # microservice lookup and call overhead.
@@ -663,6 +736,9 @@ class ClusterSimulator:
             multipliers, e.g. derived from a placement via
             :class:`~repro.simulator.interference.InterferenceModel`;
             overrides ``containers`` counts for listed microservices.
+        telemetry: Optional live :class:`~repro.telemetry.TelemetrySink`;
+            when given, the run emits spans, windowed metrics, SLA
+            alerts, and scaling audit records as it executes.
     """
 
     def __init__(
@@ -674,9 +750,11 @@ class ClusterSimulator:
         config: Optional[SimulationConfig] = None,
         priorities: Optional[Mapping[str, Mapping[str, int]]] = None,
         container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
+        telemetry: Optional["TelemetrySink"] = None,
     ):
         self.services = list(services)
         self.config = config or SimulationConfig()
+        self._telemetry = telemetry
         self.priorities = {k: dict(v) for k, v in (priorities or {}).items()}
         self.rng = np.random.default_rng(self.config.seed)
         self.events = EventQueue()
@@ -762,6 +840,9 @@ class ClusterSimulator:
         target: int,
         startup_delay_ms: float = 0.0,
         multiplier: float = 1.0,
+        reason: Optional[str] = None,
+        workload: Optional[float] = None,
+        latency_target_ms: Optional[float] = None,
     ) -> None:
         """Scale a microservice to ``target`` containers at runtime.
 
@@ -769,11 +850,27 @@ class ClusterSimulator:
         start).  Removed containers leave the rotation immediately: their
         queued jobs are redistributed and in-flight work finishes.  The
         floor is one container.
+
+        With telemetry attached, every call that changes the count is
+        audited: the decision log records the before/after counts plus
+        the optional ``reason`` / ``workload`` / ``latency_target_ms``
+        context the caller acted on.
         """
         if target < 1:
             raise ValueError(f"target must be >= 1, got {target}")
         state = self._microservices[microservice]
         delta = target - len(state.containers)
+        if delta != 0 and self._telemetry is not None:
+            self._telemetry.decisions.record(
+                minute=self.events.now / _MS_PER_MINUTE,
+                actor="simulator",
+                microservice=microservice,
+                before=len(state.containers),
+                after=target,
+                reason=reason or "scale_container_count",
+                workload=workload,
+                latency_target_ms=latency_target_ms,
+            )
         for _ in range(max(delta, 0)):
             container = _Container(
                 self._make_queue(microservice),
@@ -820,6 +917,16 @@ class ClusterSimulator:
         """
         state = self._microservices[microservice]
         removed = state.remove_last()
+        if self._telemetry is not None:
+            self._telemetry.decisions.record(
+                minute=self.events.now / _MS_PER_MINUTE,
+                actor="failure-injection",
+                microservice=microservice,
+                before=len(state.containers) + 1,
+                after=len(state.containers),
+                reason="container killed"
+                + (" (queued jobs retried)" if retry else " (queued jobs lost)"),
+            )
         affected = 0
         while True:
             job = removed.queue.pop()
@@ -846,6 +953,8 @@ class ClusterSimulator:
                 state.per_minute = result.calls_per_minute.setdefault(
                     name, defaultdict(int)
                 )
+        if self._telemetry is not None:
+            self._telemetry.begin_run(self)
         for spec in self.services:
             result.generated[spec.name] = 0
             result.completed[spec.name] = 0
@@ -857,6 +966,8 @@ class ClusterSimulator:
         if self.config.drain:
             processed += self.events.run_until(float("inf"))
         result.events_processed += processed
+        if self._telemetry is not None:
+            self._telemetry.finalize(self)
         return result
 
     # ------------------------------------------------------------------
@@ -1005,8 +1116,17 @@ class ClusterSimulator:
                 frame = _StageFrame(
                     self, service, node, stage_index + 1, len(calls), t, done
                 )
-                for child in calls:
-                    self._execute_node(service, child, t, frame)
+                tele = self._telemetry
+                if tele is not None:
+                    # Each downstream call gets its own span-emitting
+                    # continuation; span context rides on ``done``.
+                    for child in calls:
+                        self._execute_node(
+                            service, child, t, tele.wrap_call(done, child, t, frame)
+                        )
+                else:
+                    for child in calls:
+                        self._execute_node(service, child, t, frame)
                 return
             stage_index += 1
         done(t)

@@ -1,0 +1,53 @@
+"""Live telemetry for the cluster simulator (paper §5.1–§5.2, online).
+
+Stands in for the *online* half of Erms' Jaeger + Prometheus stack: where
+:mod:`repro.tracing` models the span data and the Tracing Coordinator's
+extraction rules, this package produces that telemetry live from a
+running simulation — span emission per request, a windowed metrics
+registry, an SLA violation monitor with structured alerts, an autoscaler
+decision audit log, and exporters (chrome://tracing timelines, JSON run
+reports).  Attach a :class:`TelemetrySink` via the simulator's
+``telemetry=`` parameter; a run without one pays a single null-check
+branch per event.
+"""
+
+from repro.telemetry.hooks import TelemetryConfig, TelemetrySink
+from repro.telemetry.monitor import (
+    AlertEvent,
+    DecisionLog,
+    DecisionRecord,
+    SLAMonitor,
+    WindowStats,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from repro.telemetry.export import (
+    build_run_report,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_run_report,
+)
+
+__all__ = [
+    "AlertEvent",
+    "Counter",
+    "DecisionLog",
+    "DecisionRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SLAMonitor",
+    "TelemetryConfig",
+    "TelemetrySink",
+    "WindowStats",
+    "build_run_report",
+    "chrome_trace_events",
+    "default_latency_buckets",
+    "write_chrome_trace",
+    "write_run_report",
+]

@@ -1,0 +1,412 @@
+"""Live in-simulation telemetry: span emission, windowed metrics, SLA watch.
+
+The paper's control loop runs on *online* telemetry: Jaeger spans and
+Prometheus utilization, joined per-minute by the Tracing Coordinator
+(§5.1–§5.2).  This module closes that loop for the DES: a
+:class:`TelemetrySink` attached to a
+:class:`~repro.simulator.simulation.ClusterSimulator` observes the run as
+it happens —
+
+* every completed request emits real CLIENT/SERVER
+  :class:`~repro.tracing.spans.Span` pairs (one pair per call, zero
+  network delay, matching the engine's timing exactly), assembled into
+  :class:`~repro.tracing.spans.TraceRecord` objects and offered to a
+  :class:`~repro.tracing.coordinator.TracingCoordinator`;
+* every processed call streams its own latency and per-minute call
+  counts into a live :class:`~repro.tracing.metrics.MetricsStore`, so
+  the profiler consumes *observed* telemetry — byte-identical to what
+  :meth:`SimulationResult.to_metrics_store` reconstructs post-hoc;
+* a self-rescheduling *window tick* (one event per window — off the hot
+  path) closes SLA windows, snapshots queue depth / busy fraction /
+  event throughput into the metrics registry, and flushes completed
+  minutes into the MetricsStore.
+
+The disabled path is a null check: the engine's hot loops each test
+``telemetry is None`` once and touch nothing else, so a run without a
+sink pays a single predictable branch per event (verified by the
+``telemetry_overhead`` perf benchmark).
+
+Span timing contract (kept in lockstep with the engine): a call's SERVER
+span runs from the call entering its container's queue to the call's
+whole subtree completing; the caller's CLIENT span covers the same
+interval (zero transmission delay).  Eq. 1 then recovers exactly the own
+latency the engine recorded — server duration minus the per-stage max of
+child server durations telescopes to (thread release − queue entry) —
+and calls of one stage share a start timestamp, so
+:func:`~repro.tracing.coordinator.group_parallel` regroups them into the
+original stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.telemetry.monitor import DecisionLog, SLAMonitor
+from repro.telemetry.registry import MetricsRegistry
+from repro.tracing.metrics import MetricsStore
+from repro.tracing.spans import Span, SpanKind, TraceRecord
+
+_MS_PER_MINUTE = 60_000.0
+
+__all__ = ["TelemetryConfig", "TelemetrySink"]
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs of the live telemetry layer.
+
+    Attributes:
+        window_min: Observation window length in minutes (the paper joins
+            telemetry at one-minute windows).
+        spans: Emit spans per request.  Off, the sink still tracks
+            windowed metrics, the SLA monitor, and the MetricsStore.
+        sampling_rate: Fraction of requests that produce spans (head
+            sampling, decided at request start so unsampled requests
+            allocate nothing; Jaeger's 10 % would be ``0.1``).
+        seed: Seed of the sampling decision stream — deliberately a
+            *separate* RNG so enabling telemetry never perturbs the
+            engine's pinned draw order.
+        max_traces: Retain at most this many assembled traces on the sink
+            (``None`` = unbounded).  Traces are still offered to the
+            coordinator after the cap.
+        cpu_utilization / memory_utilization / host_id: Constant host
+            utilization recorded per minute, mirroring
+            ``SimulationResult.to_metrics_store``.
+        percentile: Tail percentile the SLA monitor watches.
+    """
+
+    window_min: float = 1.0
+    spans: bool = True
+    sampling_rate: float = 1.0
+    seed: int = 0
+    max_traces: Optional[int] = None
+    cpu_utilization: float = 0.0
+    memory_utilization: float = 0.0
+    host_id: str = "sim-host"
+    percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.window_min <= 0:
+            raise ValueError("window_min must be positive")
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise ValueError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+
+
+class _TraceCtx:
+    """Per-request span accumulator (sampled requests only)."""
+
+    __slots__ = ("sink", "trace_id", "service", "start", "spans", "n")
+
+    def __init__(self, sink: "TelemetrySink", trace_id: str, service: str, start: float):
+        self.sink = sink
+        self.trace_id = trace_id
+        self.service = service
+        self.start = start
+        self.spans: List[Span] = []
+        self.n = 1  # span-id counter (id 0 is the root server span)
+
+
+class _SpanDone:
+    """Completion continuation that emits this call's span pair.
+
+    Fired when the call's whole subtree finishes (the engine's ``done``
+    chain); emits the callee's SERVER span and — for non-root calls —
+    the caller's CLIENT span, then delegates to the wrapped
+    continuation.  The root instance finalizes the trace.
+    """
+
+    __slots__ = (
+        "ctx",
+        "server_id",
+        "client_id",
+        "parent_id",
+        "microservice",
+        "caller",
+        "start",
+        "inner",
+        "root",
+    )
+
+    def __init__(
+        self, ctx, server_id, client_id, parent_id, microservice, caller, start, inner, root
+    ):
+        self.ctx = ctx
+        self.server_id = server_id
+        self.client_id = client_id
+        self.parent_id = parent_id
+        self.microservice = microservice
+        self.caller = caller
+        self.start = start
+        self.inner = inner
+        self.root = root
+
+    def __call__(self, finish: float) -> None:
+        ctx = self.ctx
+        spans = ctx.spans
+        client_id = self.client_id
+        spans.append(
+            Span(self.server_id, client_id, self.microservice, SpanKind.SERVER,
+                 self.start, finish)
+        )
+        if client_id is not None:
+            spans.append(
+                Span(client_id, self.parent_id, self.caller, SpanKind.CLIENT,
+                     self.start, finish)
+            )
+        if self.root:
+            ctx.sink._complete_trace(ctx, finish)
+        self.inner(finish)
+
+
+class _E2EDone:
+    """Root continuation for unsampled requests: e2e recording only."""
+
+    __slots__ = ("sink", "service", "start", "inner")
+
+    def __init__(self, sink, service, start, inner):
+        self.sink = sink
+        self.service = service
+        self.start = start
+        self.inner = inner
+
+    def __call__(self, finish: float) -> None:
+        self.sink.record_e2e(self.service, self.start, finish)
+        self.inner(finish)
+
+
+@dataclass
+class TelemetrySink:
+    """Everything one instrumented simulation run observes.
+
+    Attach by passing as ``telemetry=`` to
+    :class:`~repro.simulator.simulation.ClusterSimulator` (or through
+    ``evaluate_allocation`` / :class:`AutoscaledSimulation`); the
+    simulator calls :meth:`begin_run` / :meth:`finalize` around the event
+    loop.  One sink serves exactly one run.
+    """
+
+    config: TelemetryConfig = field(default_factory=TelemetryConfig)
+    coordinator: Optional[object] = None  # TracingCoordinator, duck-typed
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    monitor: SLAMonitor = field(default=None)  # type: ignore[assignment]
+    decisions: DecisionLog = field(default_factory=DecisionLog)
+    metrics: MetricsStore = field(default_factory=MetricsStore)
+    traces: List[TraceRecord] = field(default_factory=list)
+    #: One row per closed window: engine/queue health over time.
+    window_series: List[Dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.monitor is None:
+            self.monitor = SLAMonitor(percentile=self.config.percentile)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._sim = None
+        self._trace_n = 0
+        self._window_ms = self.config.window_min * _MS_PER_MINUTE
+        self._warmup_min = 0.0
+        self._duration_min = 0.0
+        #: live per-minute call counts: microservice -> minute -> calls
+        self._calls: Dict[str, Dict[int, int]] = {}
+        self._flushed_minute = 0
+        self._last_event_counter = 0
+        self._sampled = 0
+
+    # ------------------------------------------------------------------
+    # Run lifecycle (called by ClusterSimulator)
+    # ------------------------------------------------------------------
+    def begin_run(self, simulator) -> None:
+        if self._sim is not None:
+            raise RuntimeError("a TelemetrySink serves exactly one run")
+        self._sim = simulator
+        self._warmup_min = simulator.config.warmup_min
+        self._duration_min = simulator.config.duration_min
+        for spec in simulator.services:
+            self.monitor.slas.setdefault(spec.name, spec.sla)
+        self._last_event_counter = simulator.events._counter
+        duration_ms = self._duration_min * _MS_PER_MINUTE
+        if self._window_ms <= duration_ms:
+            simulator.events.schedule(self._window_ms, self._on_window)
+
+    def finalize(self, simulator) -> None:
+        """Close remaining windows and flush the tail (post-drain)."""
+        self.monitor.close_all(self.config.window_min)
+        self._flush_minutes(int(self._duration_min) + 1)
+        self._snapshot_engine(simulator)
+        self.registry.gauge("events_processed").set(
+            simulator.result.events_processed
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (engine side guards with `telemetry is not None`)
+    # ------------------------------------------------------------------
+    def wrap_root(self, service: str, node, t: float, inner):
+        """Wrap a request's end continuation at arrival time ``t``."""
+        if self.config.spans and (
+            self.config.sampling_rate >= 1.0
+            or self._rng.random() < self.config.sampling_rate
+        ):
+            self._sampled += 1
+            trace_id = f"{service}-t{self._trace_n}"
+            self._trace_n += 1
+            ctx = _TraceCtx(self, trace_id, service, t)
+            return _SpanDone(
+                ctx, f"{trace_id}-s0", None, None, node.microservice, None,
+                t, inner, True,
+            )
+        return _E2EDone(self, service, t, inner)
+
+    def wrap_call(self, done, child, t: float, frame):
+        """Wrap one downstream call's continuation (from ``_run_stages``).
+
+        ``done`` is the *parent* call's continuation; span context flows
+        through it.  Unsampled requests carry no context, so the frame
+        passes through untouched.
+        """
+        if type(done) is not _SpanDone:
+            return frame
+        ctx = done.ctx
+        n = ctx.n
+        ctx.n = n + 2
+        trace_id = ctx.trace_id
+        return _SpanDone(
+            ctx,
+            f"{trace_id}-s{n + 1}",
+            f"{trace_id}-s{n}",
+            done.server_id,
+            child.microservice,
+            done.microservice,
+            t,
+            frame,
+            False,
+        )
+
+    def record_call(self, microservice: str, finish_ms: float, own_ms: float) -> None:
+        """One processed call: own latency + per-minute call count."""
+        minute = finish_ms / _MS_PER_MINUTE
+        if self._warmup_min <= minute < self._duration_min:
+            self.metrics.record_latency(minute, microservice, own_ms)
+        by_minute = self._calls.get(microservice)
+        if by_minute is None:
+            by_minute = self._calls[microservice] = {}
+        key = int(minute)
+        by_minute[key] = by_minute.get(key, 0) + 1
+
+    def record_e2e(self, service: str, start: float, finish: float) -> None:
+        """One completed request: SLA window sample + latency histogram."""
+        e2e = finish - start
+        minute = finish / _MS_PER_MINUTE
+        self.monitor.observe(
+            service, int(minute / self.config.window_min), e2e
+        )
+        self.registry.histogram(f"e2e_latency_ms.{service}").observe(e2e)
+        self.registry.counter("requests_completed").inc()
+
+    # ------------------------------------------------------------------
+    # Window machinery (one event per window; off the hot path)
+    # ------------------------------------------------------------------
+    def _on_window(self, now_ms: float) -> None:
+        index = int(round(now_ms / self._window_ms))
+        self.monitor.close_windows(index, self.config.window_min)
+        self._flush_minutes(int(now_ms / _MS_PER_MINUTE))
+        self._snapshot_engine(self._sim, window_end_min=now_ms / _MS_PER_MINUTE)
+        next_tick = (index + 1) * self._window_ms
+        if next_tick <= self._duration_min * _MS_PER_MINUTE:
+            self._sim.events.schedule(next_tick, self._on_window)
+
+    def _flush_minutes(self, through: int) -> None:
+        """Flush completed integer minutes < ``through`` into the store.
+
+        Applies the same steady-state filter as
+        ``SimulationResult.to_metrics_store``: call counts only for
+        minutes in [warmup, duration); utilization for every minute of
+        the run (0 .. int(duration)).
+        """
+        start = self._flushed_minute
+        if through <= start:
+            return
+        containers = self._sim.result.containers if self._sim else {}
+        for minute in range(start, through):
+            if self._warmup_min <= minute < self._duration_min:
+                for name, by_minute in self._calls.items():
+                    calls = by_minute.pop(minute, None)
+                    if calls:
+                        self.metrics.record_calls(
+                            float(minute),
+                            name,
+                            float(calls),
+                            max(containers.get(name, 1), 1),
+                        )
+            if minute <= int(self._duration_min):
+                self.metrics.record_utilization(
+                    float(minute),
+                    self.config.host_id,
+                    self.config.cpu_utilization,
+                    self.config.memory_utilization,
+                )
+        self._flushed_minute = through
+
+    def _snapshot_engine(self, simulator, window_end_min: Optional[float] = None) -> None:
+        """Gauge queue depth, busy fraction, and event throughput."""
+        if simulator is None:
+            return
+        depth = 0
+        busy = 0
+        total_threads = 0
+        containers = 0
+        for state in simulator._microservices.values():
+            threads = state.spec.threads
+            for container in state.containers:
+                containers += 1
+                total_threads += threads
+                busy += threads - container.free_threads
+                depth += (
+                    len(container.fifo)
+                    if container.fifo is not None
+                    else len(container.queue)
+                )
+        busy_fraction = busy / total_threads if total_threads else 0.0
+        registry = self.registry
+        registry.gauge("queue_depth").set(depth)
+        registry.gauge("busy_threads").set(busy)
+        registry.gauge("busy_fraction").set(busy_fraction)
+        registry.gauge("containers").set(containers)
+        counter = simulator.events._counter
+        delta = counter - self._last_event_counter
+        self._last_event_counter = counter
+        registry.counter("events_scheduled").inc(delta)
+        if window_end_min is not None:
+            events_per_sec = delta / (self.config.window_min * 60.0)
+            registry.gauge("events_per_sec").set(events_per_sec)
+            self.window_series.append(
+                {
+                    "end_min": round(window_end_min, 6),
+                    "queue_depth": depth,
+                    "busy_fraction": round(busy_fraction, 6),
+                    "containers": containers,
+                    "events_per_sec": round(events_per_sec, 2),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Trace assembly
+    # ------------------------------------------------------------------
+    def _complete_trace(self, ctx: _TraceCtx, finish: float) -> None:
+        self.record_e2e(ctx.service, ctx.start, finish)
+        record = TraceRecord(
+            trace_id=ctx.trace_id, service=ctx.service, spans=ctx.spans
+        )
+        max_traces = self.config.max_traces
+        if max_traces is None or len(self.traces) < max_traces:
+            self.traces.append(record)
+        if self.coordinator is not None:
+            self.coordinator.offer(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def sampled_traces(self) -> int:
+        """Requests that produced spans (before any ``max_traces`` cap)."""
+        return self._sampled

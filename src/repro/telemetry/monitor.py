@@ -1,0 +1,258 @@
+"""SLA violation monitor and autoscaler decision audit log.
+
+Two structured event streams that make a run explainable after the fact:
+
+* :class:`SLAMonitor` — closes one :class:`WindowStats` per (service,
+  window) with the window's request count, violation count, and tail
+  latency, and raises an :class:`AlertEvent` whenever a window's P95
+  exceeds the service's SLA.  Its per-window violation counts agree
+  exactly with the post-hoc
+  :meth:`~repro.simulator.simulation.SimulationResult.violation_rate_by_window`
+  API — both bucket a request by ``int(finish_minute // window)``.
+* :class:`DecisionLog` — every container-count change (in-DES
+  ``scale_container_count``, autoscaler reconcile, deployment-controller
+  reconcile) appends a :class:`DecisionRecord` carrying the observed
+  workload, the latency/SLA context, the container delta, and a
+  human-readable reason, so "why did it scale?" has an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "AlertEvent",
+    "DecisionLog",
+    "DecisionRecord",
+    "SLAMonitor",
+    "WindowStats",
+]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One closed observation window of one service."""
+
+    service: str
+    window: int  # window index: int(minute // window_min)
+    start_min: float
+    count: int
+    violations: int
+    p95_ms: float
+    sla_ms: float
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "service": self.service,
+            "window": self.window,
+            "start_min": round(self.start_min, 6),
+            "count": self.count,
+            "violations": self.violations,
+            "violation_rate": round(self.violation_rate, 6),
+            "p95_ms": round(self.p95_ms, 4),
+            "sla_ms": self.sla_ms,
+        }
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """A window whose tail latency broke the service's SLA."""
+
+    service: str
+    window: int
+    start_min: float
+    p95_ms: float
+    sla_ms: float
+    violations: int
+    count: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "service": self.service,
+            "window": self.window,
+            "start_min": round(self.start_min, 6),
+            "p95_ms": round(self.p95_ms, 4),
+            "sla_ms": self.sla_ms,
+            "violations": self.violations,
+            "count": self.count,
+        }
+
+
+class SLAMonitor:
+    """Watches windowed tail latency against per-service SLAs.
+
+    The telemetry sink feeds it raw end-to-end samples via
+    :meth:`observe`; window closing is driven externally (by the sink's
+    window ticks and run finalization), so the monitor itself holds no
+    clock.  Services without a registered SLA are tracked but never
+    alerted.
+    """
+
+    def __init__(self, slas: Optional[Dict[str, float]] = None, percentile: float = 95.0):
+        self.slas: Dict[str, float] = dict(slas or {})
+        self.percentile = percentile
+        self.windows: List[WindowStats] = []
+        self.alerts: List[AlertEvent] = []
+        #: open window buffers: service -> window index -> raw samples (ms)
+        self._open: Dict[str, Dict[int, List[float]]] = {}
+
+    # -- ingest ---------------------------------------------------------
+    def observe(self, service: str, window: int, latency_ms: float) -> None:
+        """Record one end-to-end latency sample into an open window."""
+        by_window = self._open.get(service)
+        if by_window is None:
+            by_window = self._open[service] = {}
+        samples = by_window.get(window)
+        if samples is None:
+            samples = by_window[window] = []
+        samples.append(latency_ms)
+
+    def close_windows(self, before: int, window_min: float) -> List[WindowStats]:
+        """Close (and return) every open window with index < ``before``."""
+        closed: List[WindowStats] = []
+        for service in sorted(self._open):
+            by_window = self._open[service]
+            for index in sorted(w for w in by_window if w < before):
+                closed.append(
+                    self._close(service, index, by_window.pop(index), window_min)
+                )
+        return closed
+
+    def close_all(self, window_min: float) -> List[WindowStats]:
+        """Close every remaining open window (run finalization)."""
+        closed = self.close_windows(before=1 << 62, window_min=window_min)
+        return closed
+
+    def _close(
+        self, service: str, index: int, samples: List[float], window_min: float
+    ) -> WindowStats:
+        sla = self.slas.get(service, float("inf"))
+        values = np.asarray(samples, dtype=float)
+        stats = WindowStats(
+            service=service,
+            window=index,
+            start_min=index * window_min,
+            count=len(samples),
+            violations=int(np.count_nonzero(values > sla)),
+            p95_ms=float(np.percentile(values, self.percentile)),
+            sla_ms=sla if sla != float("inf") else 0.0,
+        )
+        self.windows.append(stats)
+        if sla != float("inf") and stats.p95_ms > sla:
+            self.alerts.append(
+                AlertEvent(
+                    service=service,
+                    window=index,
+                    start_min=stats.start_min,
+                    p95_ms=stats.p95_ms,
+                    sla_ms=sla,
+                    violations=stats.violations,
+                    count=stats.count,
+                )
+            )
+        return stats
+
+    # -- queries --------------------------------------------------------
+    def windows_of(self, service: str) -> List[WindowStats]:
+        return [w for w in self.windows if w.service == service]
+
+    def violation_rate(
+        self, service: str, min_window: Optional[int] = None
+    ) -> float:
+        """Aggregate violation fraction over closed windows of a service."""
+        windows = [
+            w
+            for w in self.windows_of(service)
+            if min_window is None or w.window >= min_window
+        ]
+        total = sum(w.count for w in windows)
+        if total == 0:
+            raise ValueError(f"no closed windows for service {service!r}")
+        return sum(w.violations for w in windows) / total
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One audited scaling decision."""
+
+    minute: float
+    actor: str  # "simulator" | "autoscaler" | "controller" | ...
+    microservice: str
+    before: int
+    after: int
+    reason: str
+    workload: Optional[float] = None  # req/min the decision was based on
+    latency_target_ms: Optional[float] = None
+
+    @property
+    def delta(self) -> int:
+        return self.after - self.before
+
+    def to_dict(self) -> Dict:
+        entry = {
+            "minute": round(self.minute, 6),
+            "actor": self.actor,
+            "microservice": self.microservice,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "reason": self.reason,
+        }
+        if self.workload is not None:
+            entry["workload"] = round(self.workload, 4)
+        if self.latency_target_ms is not None:
+            entry["latency_target_ms"] = round(self.latency_target_ms, 4)
+        return entry
+
+
+class DecisionLog:
+    """Append-only audit trail of scaling decisions."""
+
+    def __init__(self) -> None:
+        self.records: List[DecisionRecord] = []
+
+    def record(
+        self,
+        minute: float,
+        actor: str,
+        microservice: str,
+        before: int,
+        after: int,
+        reason: str,
+        workload: Optional[float] = None,
+        latency_target_ms: Optional[float] = None,
+    ) -> DecisionRecord:
+        entry = DecisionRecord(
+            minute=minute,
+            actor=actor,
+            microservice=microservice,
+            before=before,
+            after=after,
+            reason=reason,
+            workload=workload,
+            latency_target_ms=latency_target_ms,
+        )
+        self.records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_actor(self, actor: str) -> List[DecisionRecord]:
+        return [r for r in self.records if r.actor == actor]
+
+    def scale_ups(self) -> List[DecisionRecord]:
+        return [r for r in self.records if r.delta > 0]
+
+    def scale_downs(self) -> List[DecisionRecord]:
+        return [r for r in self.records if r.delta < 0]
+
+    def to_dicts(self) -> List[Dict]:
+        return [r.to_dict() for r in self.records]

@@ -1,0 +1,162 @@
+"""Low-overhead metrics registry: counters, gauges, latency histograms.
+
+The live telemetry layer mirrors what Prometheus client libraries give a
+real deployment (paper §5.1): monotonically increasing counters, sampled
+gauges, and fixed-bucket latency histograms that answer percentile
+queries without retaining raw samples.  Everything is plain-Python and
+allocation-free on the observation path — an ``observe()`` is one bisect
+over a precomputed bucket table plus two float adds — so the enabled
+telemetry path stays cheap and the disabled path costs nothing at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+]
+
+
+def default_latency_buckets() -> List[float]:
+    """Log-spaced latency bucket upper bounds in milliseconds.
+
+    Covers 0.5 ms to ~53 s with ~24 % resolution steps — the same shape
+    Prometheus' ``histogram_buckets`` idiom uses for request latencies.
+    """
+    bounds = []
+    bound = 0.5
+    while bound < 60_000.0:
+        bounds.append(round(bound, 4))
+        bound *= 1.25
+    return bounds
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written-value metric (queue depth, busy threads, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram.
+
+    Bucket ``i`` counts observations ``<= bounds[i]``; one overflow
+    bucket catches the rest.  ``quantile()`` answers with the upper bound
+    of the bucket containing the requested rank — the standard
+    Prometheus ``histogram_quantile`` estimate, biased at most one
+    bucket width high.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds = list(bounds) if bounds is not None else default_latency_buckets()
+        if sorted(self.bounds) != self.bounds or not self.bounds:
+            raise ValueError("histogram bounds must be a non-empty sorted list")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]  # overflow: best available bound
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metric namespace: one flat dict per metric kind.
+
+    Metrics are created on first touch (``counter("events")`` both
+    registers and returns), so instrumentation sites never need set-up
+    code.  ``snapshot()`` renders everything JSON-ready for run reports.
+    """
+
+    def __init__(self, latency_bounds: Optional[Sequence[float]] = None):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._latency_bounds = (
+            list(latency_bounds) if latency_bounds is not None else None
+        )
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, self._latency_bounds)
+        return metric
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view of every registered metric."""
+        report: Dict = {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {},
+        }
+        for name, hist in sorted(self.histograms.items()):
+            entry = {"count": hist.count, "sum": round(hist.sum, 6)}
+            if hist.count:
+                entry["mean"] = round(hist.mean, 6)
+                entry["p50"] = hist.quantile(0.50)
+                entry["p95"] = hist.quantile(0.95)
+                entry["p99"] = hist.quantile(0.99)
+            report["histograms"][name] = entry
+        return report

@@ -22,6 +22,21 @@ class TestParser:
         assert args.workloads == [1000.0, 2000.0]
         assert args.slas == [150.0]
 
+    def test_compare_workers_flag(self):
+        args = build_parser().parse_args(["compare", "--workers", "4"])
+        assert args.workers == 4
+        assert args.simulate is False
+
+    def test_trace_sim_workers_flag(self):
+        args = build_parser().parse_args(["trace-sim", "--workers", "0"])
+        assert args.workers == 0
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.window == 1.0
+        assert args.sampling == 1.0
+        assert args.output is None
+
 
 class TestCommands:
     def test_scale_prints_allocation(self, capsys):
@@ -61,3 +76,31 @@ class TestCommands:
         assert main(["trace-sim", "--services", "5"]) == 0
         out = capsys.readouterr().out
         assert "fewer containers" in out
+
+    def test_compare_simulate_adds_measured_columns(self, capsys):
+        assert main(["compare", "--app", "hotel-reservation",
+                     "--workloads", "2000", "--slas", "250",
+                     "--simulate", "--duration", "0.4", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_violation" in out
+        assert "avg_p95_ms" in out
+
+    def test_report_prints_and_writes(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(["report", "--app", "hotel-reservation",
+                     "--workload", "2000", "--sla", "250",
+                     "--duration", "0.6", "--interval", "0.3",
+                     "--window", "0.2", "--max-traces", "5",
+                     "--output", str(report_path),
+                     "--chrome-trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLA windows" in out
+        assert "Alerts" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert report["windows"]
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]

@@ -141,3 +141,15 @@ class TestParallelEqualsSerial:
         parallel = run_delta_sweep(duration_min=0.4, warmup_min=0.1, workers=2)
         assert serial == parallel
         assert [row["delta"] for row in serial] == [0.0, 0.05, 0.2]
+
+    def test_trace_sim_prefilter_identical(self):
+        from repro.experiments import run_trace_simulation
+        from repro.workloads import generate_taobao
+
+        workload = generate_taobao(n_services=8, seed=1)
+        # Fresh scheme instances per run: schemes are stateful.
+        serial = run_trace_simulation(workload, [ErmsScaler()], workers=1)
+        parallel = run_trace_simulation(workload, [ErmsScaler()], workers=2)
+        assert serial.totals == parallel.totals
+        assert serial.per_service == parallel.per_service
+        assert serial.skipped_services == parallel.skipped_services

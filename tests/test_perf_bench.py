@@ -59,3 +59,28 @@ class TestMicroTimingGuard:
         report = runner.bench_saturation(duration_min=1.0, trials=3)
         assert report["events_per_sec"] >= 150_000
         assert report["requests"] > 0
+
+    def test_telemetry_disabled_within_5pct_of_tracked(self):
+        """The disabled-telemetry hot path must not regress.
+
+        The telemetry hooks add one ``is None`` branch per hot loop; this
+        guard re-times the saturation scenario and requires throughput
+        within 5 % of the checked-in ``BENCH_des.json`` figure (measured
+        on the same class of machine when the report was regenerated).
+        """
+        tracked = json.loads((REPO_ROOT / "BENCH_des.json").read_text())
+        pinned = tracked["benchmarks"]["saturation"]["events_per_sec"]
+        report = runner.bench_saturation(duration_min=1.0, trials=3)
+        assert report["events_per_sec"] >= 0.95 * pinned
+
+    def test_telemetry_overhead_is_bounded(self):
+        """Fully-enabled telemetry slows the engine, but boundedly.
+
+        Span emission at 100 % sampling allocates two spans per call, so
+        ~3x slowdown is the expected worst case (tracked ~66 %); the
+        guard trips on a runaway per-event cost, not the known price.
+        """
+        report = runner.bench_telemetry_overhead(duration_min=0.5, trials=2)
+        assert report["disabled_events_per_sec"] > 0
+        assert report["enabled_events_per_sec"] >= 100_000
+        assert report["overhead_pct"] < 80.0
