@@ -15,6 +15,11 @@ Three single-process benchmarks plus one parallel-grid benchmark:
   versus a fully-enabled :class:`~repro.telemetry.TelemetrySink` (spans,
   windows, live MetricsStore), reporting the enabled-path overhead and
   pinning that the disabled path stays a single null-check branch.
+* ``tail_sampling`` — the same scenario with full trace retention versus
+  tail-based sampling at the run's P95, reporting both overheads and the
+  tail keep fraction.
+* ``analysis_throughput`` — critical-path extraction and SLA blame over
+  the collected traces, in traces/sec.
 
 Results are written to ``BENCH_des.json`` at the repo root so the perf
 trajectory is tracked across PRs.  ``baseline_seed.json`` (checked in,
@@ -224,12 +229,137 @@ def bench_telemetry_overhead(
     }
 
 
+def bench_tail_sampling(
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3
+) -> dict:
+    """Tail-based sampling versus full trace retention.
+
+    Three saturation runs: telemetry disabled (reference, and the source
+    of the P95 threshold), full sampling (every trace materialized), and
+    tail-based sampling at the disabled run's P95.  Reports both
+    overhead percentages and the tail run's keep fraction — the headline
+    claim is that tail sampling keeps the span pipeline well below the
+    full-retention cost while still catching every slow trace.
+    """
+    import numpy as np
+
+    from repro.telemetry import TelemetryConfig, TelemetrySink
+
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+
+    def run_once(sink):
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.25, seed=seed
+            ),
+            telemetry=sink,
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        return time.perf_counter() - start, result, sink
+
+    disabled_runs = [run_once(None) for _ in range(max(1, trials))]
+    disabled_wall, disabled_result, _ = min(disabled_runs, key=lambda p: p[0])
+    threshold = float(
+        np.percentile(disabled_result.latencies("svc"), 95.0)
+    )
+
+    full_runs = [
+        run_once(TelemetrySink(config=TelemetryConfig(window_min=0.25)))
+        for _ in range(max(1, trials))
+    ]
+    tail_runs = [
+        run_once(
+            TelemetrySink(
+                config=TelemetryConfig(
+                    window_min=0.25, tail_threshold_ms=threshold, seed=seed
+                )
+            )
+        )
+        for _ in range(max(1, trials))
+    ]
+    full_wall, full_result, _ = min(full_runs, key=lambda p: p[0])
+    tail_wall, tail_result, tail_sink = min(tail_runs, key=lambda p: p[0])
+    disabled_eps = disabled_result.events_processed / disabled_wall
+    full_eps = full_result.events_processed / full_wall
+    tail_eps = tail_result.events_processed / tail_wall
+    keep_fraction = (
+        tail_sink.kept_traces / tail_sink.sampled_traces
+        if tail_sink.sampled_traces
+        else 0.0
+    )
+    return {
+        "tail_threshold_ms": round(threshold, 3),
+        "disabled_events_per_sec": round(disabled_eps, 1),
+        "full_events_per_sec": round(full_eps, 1),
+        "tail_events_per_sec": round(tail_eps, 1),
+        "full_overhead_pct": round((1.0 - full_eps / disabled_eps) * 100.0, 2),
+        "tail_overhead_pct": round((1.0 - tail_eps / disabled_eps) * 100.0, 2),
+        "keep_fraction": round(keep_fraction, 4),
+        "traces_kept": tail_sink.kept_traces,
+        "traces_sampled": tail_sink.sampled_traces,
+    }
+
+
+def bench_analysis_throughput(seed: int = 7) -> dict:
+    """Post-run analysis speed: critical-path extraction + blame.
+
+    Collects the saturation scenario's traces once, then times
+    ``extract_critical_path`` over every trace and a full
+    ``attribute_blame`` pass, reporting traces analyzed per second —
+    the cost of the analytics layer relative to trace volume.
+    """
+    from repro.telemetry import TelemetryConfig, TelemetrySink
+    from repro.telemetry.analysis import attribute_blame, extract_critical_path
+
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+    sink = TelemetrySink(config=TelemetryConfig(window_min=0.25))
+    ClusterSimulator(
+        [spec],
+        {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+        containers={"B": 1},
+        rates={"svc": 45_000.0},
+        config=SimulationConfig(duration_min=1.0, warmup_min=0.25, seed=seed),
+        telemetry=sink,
+    ).run()
+    traces = sink.traces
+    start = time.perf_counter()
+    for trace in traces:
+        extract_critical_path(trace)
+    path_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    report = attribute_blame(
+        traces, targets={"svc": {"B": 10.0}}, slas={"svc": 40.0}
+    )
+    blame_wall = time.perf_counter() - start
+    n = len(traces)
+    return {
+        "traces": n,
+        "critical_path_traces_per_sec": round(n / path_wall, 1)
+        if path_wall > 0
+        else None,
+        "blame_traces_per_sec": round(n / blame_wall, 1)
+        if blame_wall > 0
+        else None,
+        "blame_entries": len(report.entries),
+        "violating_windows": len(report.violating_windows),
+    }
+
+
 BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
     "trace_slice": bench_trace_slice,
     "parallel_grid": bench_parallel_grid,
     "telemetry_overhead": bench_telemetry_overhead,
+    "tail_sampling": bench_tail_sampling,
+    "analysis_throughput": bench_analysis_throughput,
 }
 
 

@@ -13,7 +13,16 @@ Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
 * ``trace-sim`` — the Taobao-scale synthetic evaluation (§6.5).
 * ``report`` — run the autoscaled control loop with live telemetry and
   print/export the observability report (SLA windows, alerts, scaling
-  decisions, chrome://tracing timelines).
+  decisions, chrome://tracing timelines); ``--format prom`` dumps the
+  metrics registry in Prometheus text exposition instead.
+* ``analyze`` — run the trace analytics engine on an instrumented run:
+  critical-path attribution, SLA blame against the Eq. 5 targets,
+  priority-inversion flags, and profile-drift verdicts.
+
+``simulate``, ``compare``, ``report``, and ``analyze`` all accept
+``--sampling-rate`` (head sampling) and ``--tail-threshold`` (tail-based
+sampling: keep full traces only for requests slower than the threshold,
+plus a small uniform floor).
 """
 
 from __future__ import annotations
@@ -104,6 +113,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             name: [args.interference] * count
             for name, count in allocation.containers.items()
         }
+    sink = None
+    if args.sampling_rate < 1.0 or args.tail_threshold is not None:
+        from repro.telemetry import TelemetryConfig, TelemetrySink
+
+        sink = TelemetrySink(
+            config=TelemetryConfig(
+                sampling_rate=args.sampling_rate,
+                tail_threshold_ms=args.tail_threshold,
+                seed=args.seed,
+                max_traces=0,
+            )
+        )
     result = evaluate_allocation(
         specs,
         app.simulated,
@@ -112,6 +133,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         warmup_min=min(0.5, args.duration / 3),
         seed=args.seed,
         container_multipliers=multipliers,
+        telemetry=sink,
     )
     rows = []
     for spec in specs:
@@ -133,6 +155,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "{:.3f}",
         )
     )
+    if sink is not None:
+        print(
+            f"\nTraces: buffered={sink.sampled_traces} "
+            f"kept={sink.kept_traces} tail_dropped={sink.tail_dropped}"
+        )
     return 0
 
 
@@ -150,6 +177,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         warmup_min=min(0.5, args.duration / 3),
         seed=args.seed,
         workers=args.workers,
+        sampling_rate=args.sampling_rate,
+        tail_threshold_ms=args.tail_threshold,
     )
     rows = []
     for scheme in sweep.schemes():
@@ -159,6 +188,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
             row["avg_p95_ms"] = sweep.average_p95(scheme)
         rows.append(row)
     print(format_table(rows, f"Static sweep on {app.name}"))
+    sampled = sum(r.get("traces_sampled") or 0 for r in sweep.rows)
+    if sampled:
+        kept = sum(r.get("traces_kept") or 0 for r in sweep.rows)
+        dropped = sum(r.get("tail_dropped") or 0 for r in sweep.rows)
+        print(
+            f"\nTraces across cells: buffered={sampled} kept={kept} "
+            f"tail_dropped={dropped}"
+        )
     return 0
 
 
@@ -204,6 +241,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         config=TelemetryConfig(
             window_min=args.window,
             sampling_rate=args.sampling,
+            tail_threshold_ms=args.tail_threshold,
             max_traces=args.max_traces,
         ),
         coordinator=TracingCoordinator(),
@@ -223,6 +261,9 @@ def cmd_report(args: argparse.Namespace) -> int:
         telemetry=sink,
     )
     outcome = simulation.run()
+    if args.format == "prom":
+        print(sink.registry.expose_text(), end="")
+        return 0
     report = build_run_report(sink, outcome.simulation, specs)
     print(render_run_report(report))
     if args.output:
@@ -231,6 +272,85 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.chrome_trace:
         count = write_chrome_trace(sink.traces, args.chrome_trace)
         print(f"wrote chrome trace: {args.chrome_trace} ({count} events)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import render_analysis_sections
+    from repro.simulator.autoscaled import AutoscaleConfig, AutoscaledSimulation
+    from repro.simulator.simulation import SimulationConfig
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        build_run_report,
+        write_run_report,
+    )
+    from repro.telemetry.analysis import AnalysisOptions, analyze_run
+
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    profiles = app.analytic_profiles(args.interference)
+    specs = app.with_workloads(
+        {s.name: args.workload for s in app.services}, sla=args.sla
+    )
+    from repro.core.model import InfeasibleSLAError
+
+    # The allocation the run starts from also carries the Eq. 5 latency
+    # targets and the Eqs. 13-14 priorities — the ground truth blame
+    # attribution compares against.
+    try:
+        allocation = scheme.scale(specs, profiles)
+    except InfeasibleSLAError as error:
+        raise SystemExit(f"infeasible setting: {error}")
+    sink = TelemetrySink(
+        config=TelemetryConfig(
+            window_min=args.window,
+            sampling_rate=args.sampling_rate,
+            tail_threshold_ms=args.tail_threshold,
+            max_traces=args.max_traces,
+        )
+    )
+    simulation = AutoscaledSimulation(
+        specs,
+        app.simulated,
+        scheme,
+        profiles,
+        rates={spec.name: args.workload for spec in specs},
+        config=SimulationConfig(
+            duration_min=args.duration,
+            warmup_min=min(0.5, args.duration / 3),
+            seed=args.seed,
+        ),
+        autoscale=AutoscaleConfig(interval_min=args.interval),
+        telemetry=sink,
+    )
+    outcome = simulation.run()
+    analysis = analyze_run(
+        sink=sink,
+        targets=allocation.targets,
+        priorities=allocation.priorities or None,
+        profiles={name: prof.model for name, prof in profiles.items()},
+        options=AnalysisOptions(
+            window_min=args.window, top_paths=args.top_paths
+        ),
+    )
+    sections = render_analysis_sections(analysis.to_dict())
+    print(
+        "\n\n".join(sections)
+        if sections
+        else "(no traces collected — nothing to analyze)"
+    )
+    slowest = analysis.slowest
+    if slowest:
+        print(f"\nSlowest trace ({slowest[0].trace_id}):")
+        rows = [segment.to_dict() for segment in slowest[0].segments]
+        print(format_table(rows, f"e2e={slowest[0].end_to_end_ms:.3f} ms"))
+    if args.output:
+        report = build_run_report(
+            sink, outcome.simulation, specs, analysis=analysis
+        )
+        write_run_report(report, args.output)
+        print(f"\nwrote report: {args.output}")
     return 0
 
 
@@ -252,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--interference", type=float, default=1.0,
                        help="host colocation multiplier (>= 1)")
 
+    def add_sampling(p):
+        p.add_argument("--sampling-rate", type=float, default=1.0,
+                       dest="sampling_rate",
+                       help="trace head-sampling rate in (0, 1]")
+        p.add_argument("--tail-threshold", type=float, default=None,
+                       dest="tail_threshold",
+                       help="tail-based sampling: keep full traces only "
+                            "for requests slower than this many ms "
+                            "(plus a small uniform floor)")
+
     p_scale = sub.add_parser("scale", help="compute an allocation")
     add_common(p_scale)
     p_scale.set_defaults(func=cmd_scale)
@@ -261,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--duration", type=float, default=1.5,
                        help="simulated minutes")
     p_sim.add_argument("--seed", type=int, default=0)
+    add_sampling(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="static sweep across all schemes")
@@ -276,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--workers", type=int, default=1,
                        help="processes for the replays (0 = one per CPU)")
+    add_sampling(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_trace = sub.add_parser("trace-sim", help="Taobao-scale synthetic evaluation")
@@ -299,15 +431,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="autoscaler reconcile interval (minutes)")
     p_rep.add_argument("--window", type=float, default=1.0,
                        help="SLA observation window (minutes)")
-    p_rep.add_argument("--sampling", type=float, default=1.0,
+    p_rep.add_argument("--sampling", "--sampling-rate", type=float,
+                       default=1.0, dest="sampling",
                        help="trace head-sampling rate in (0, 1]")
+    p_rep.add_argument("--tail-threshold", type=float, default=None,
+                       dest="tail_threshold",
+                       help="tail-based sampling threshold in ms")
     p_rep.add_argument("--max-traces", type=int, default=1000,
                        help="retain at most this many traces in memory")
+    p_rep.add_argument("--format", choices=["tables", "prom"],
+                       default="tables",
+                       help="tables (default) or Prometheus text "
+                            "exposition of the metrics registry")
     p_rep.add_argument("--output", default=None,
                        help="write the JSON run report to this path")
     p_rep.add_argument("--chrome-trace", default=None,
                        help="write a chrome://tracing JSON to this path")
     p_rep.set_defaults(func=cmd_report)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="trace analytics: critical paths, SLA blame, priority "
+             "inversions, profile drift",
+    )
+    add_common(p_an)
+    p_an.add_argument("--duration", type=float, default=3.0,
+                      help="simulated minutes")
+    p_an.add_argument("--seed", type=int, default=0)
+    p_an.add_argument("--interval", type=float, default=1.0,
+                      help="autoscaler reconcile interval (minutes)")
+    p_an.add_argument("--window", type=float, default=1.0,
+                      help="blame/SLA observation window (minutes)")
+    p_an.add_argument("--max-traces", type=int, default=5000,
+                      help="retain at most this many traces in memory")
+    p_an.add_argument("--top-paths", type=int, default=5,
+                      help="slowest traces to break down in full")
+    add_sampling(p_an)
+    p_an.add_argument("--output", default=None,
+                      help="write the JSON run report (with analysis) here")
+    p_an.set_defaults(func=cmd_analyze)
 
     return parser
 

@@ -113,6 +113,10 @@ def render_run_report(report: Mapping[str, Any]) -> str:
     if decision_rows:
         sections.append(format_table(decision_rows, title="Scaling decisions"))
 
+    analysis = report.get("analysis")
+    if analysis:
+        sections.extend(render_analysis_sections(analysis))
+
     summary = (
         f"events={report.get('events_processed', 0)}  "
         f"traces={report.get('traces_collected', 0)}/"
@@ -121,3 +125,71 @@ def render_run_report(report: Mapping[str, Any]) -> str:
     )
     sections.append(summary)
     return "\n\n".join(sections)
+
+
+def render_analysis_sections(analysis: Mapping[str, Any]) -> List[str]:
+    """Render a ``RunAnalysis.to_dict()`` payload as text-table sections.
+
+    Shared by ``python -m repro analyze`` and ``render_run_report`` (when
+    a run report carries an ``"analysis"`` section).  Sections: critical-
+    path attribution, SLA blame ranking, priority inversions, drift
+    verdicts, and a sampling summary line.
+    """
+    sections: List[str] = []
+
+    cp_rows = analysis.get("critical_path", [])
+    if cp_rows:
+        sections.append(
+            format_table(cp_rows, title="Critical-path attribution")
+        )
+
+    blame = analysis.get("blame")
+    if blame:
+        entries = blame.get("entries", [])
+        if entries:
+            sections.append(
+                format_table(
+                    entries,
+                    title=(
+                        f"SLA blame (P{blame.get('percentile', 95):g} vs "
+                        f"targets, {len(blame.get('violating_windows', []))} "
+                        f"violating windows)"
+                    ),
+                )
+            )
+        else:
+            sections.append("SLA blame\n(no violating windows)")
+        inversions = blame.get("inversions", [])
+        if inversions:
+            sections.append(
+                format_table(inversions, title="Priority inversions")
+            )
+
+    drift_rows = [
+        {
+            "microservice": d["microservice"],
+            "drifted": d["drifted"],
+            "n_windows": d["n_windows"],
+            "median_rel_error": d["median_rel_error"],
+            "observed_p95_ms": d["observed_p95_ms"],
+            "predicted_p95_ms": d["predicted_p95_ms"],
+            "reason": d["reason"],
+        }
+        for d in analysis.get("drift", [])
+    ]
+    if drift_rows:
+        sections.append(format_table(drift_rows, title="Profile drift"))
+
+    sampling = analysis.get("sampling")
+    if sampling:
+        threshold = sampling.get("tail_threshold_ms")
+        mode = (
+            f"tail>{threshold:g}ms" if threshold is not None else "head-only"
+        )
+        sections.append(
+            f"Sampling: {mode}  "
+            f"buffered={sampling.get('sampled_traces', 0)}  "
+            f"kept={sampling.get('kept_traces', 0)}  "
+            f"tail_dropped={sampling.get('tail_dropped', 0)}"
+        )
+    return sections

@@ -78,6 +78,23 @@ def _simulate_static_cell(cell: Dict) -> Dict:
     function of the cell and identical whether it runs in-process or in a
     worker process.
     """
+    sink = None
+    sampling_rate = cell.get("sampling_rate", 1.0)
+    tail_threshold_ms = cell.get("tail_threshold_ms")
+    if sampling_rate < 1.0 or tail_threshold_ms is not None:
+        from repro.telemetry import TelemetryConfig, TelemetrySink
+
+        # max_traces=0: the sweep only wants the retention *accounting*
+        # (sampled/kept/dropped), not the trace objects, so nothing is
+        # materialized or held across hundreds of grid cells.
+        sink = TelemetrySink(
+            config=TelemetryConfig(
+                sampling_rate=sampling_rate,
+                tail_threshold_ms=tail_threshold_ms,
+                seed=cell["seed"],
+                max_traces=0,
+            )
+        )
     sim = evaluate_allocation(
         cell["specs"],
         cell["simulated"],
@@ -86,6 +103,7 @@ def _simulate_static_cell(cell: Dict) -> Dict:
         warmup_min=cell["warmup_min"],
         seed=cell["seed"],
         container_multipliers=cell["multipliers"],
+        telemetry=sink,
     )
     violations = []
     p95s = []
@@ -94,12 +112,19 @@ def _simulate_static_cell(cell: Dict) -> Dict:
             continue
         violations.append(sim.sla_violation_rate(spec.name, spec.sla))
         p95s.append(sim.tail_latency(spec.name))
-    if not violations:
-        return {"violation": None, "p95": None}
-    return {
-        "violation": float(np.mean(violations)),
-        "p95": float(np.mean(p95s)),
-    }
+    measured: Dict = (
+        {"violation": None, "p95": None}
+        if not violations
+        else {
+            "violation": float(np.mean(violations)),
+            "p95": float(np.mean(p95s)),
+        }
+    )
+    if sink is not None:
+        measured["traces_sampled"] = sink.sampled_traces
+        measured["traces_kept"] = sink.kept_traces
+        measured["tail_dropped"] = sink.tail_dropped
+    return measured
 
 
 def run_static_sweep(
@@ -115,6 +140,8 @@ def run_static_sweep(
     interference_multiplier: float = 1.0,
     historic_multiplier: Optional[float] = None,
     workers: int = 1,
+    sampling_rate: float = 1.0,
+    tail_threshold_ms: Optional[float] = None,
 ) -> StaticSweepResult:
     """Run the full (workload × SLA × scheme) grid.
 
@@ -140,6 +167,12 @@ def run_static_sweep(
             CPU).  Allocations always run serially — schemes are stateful
             (``reset()``/``scale()``) — then the independent per-cell
             simulations fan out; results are identical to ``workers=1``.
+        sampling_rate: Trace head-sampling rate for the replays.  Any
+            value below 1.0 (or a tail threshold) attaches a counting-only
+            telemetry sink per cell; rows then carry
+            ``traces_sampled`` / ``traces_kept`` / ``tail_dropped``.
+        tail_threshold_ms: Tail-based sampling threshold for the replays
+            (see :class:`~repro.telemetry.TelemetryConfig`).
 
     Returns:
         A :class:`StaticSweepResult`; infeasible (SLA below latency floor)
@@ -198,6 +231,8 @@ def run_static_sweep(
                             "warmup_min": warmup_min,
                             "seed": seed,
                             "multipliers": multipliers,
+                            "sampling_rate": sampling_rate,
+                            "tail_threshold_ms": tail_threshold_ms,
                         }
                     )
 
@@ -209,6 +244,5 @@ def run_static_sweep(
             for cell in cells
         ]
         for cell, measured in zip(cells, run_cells(_simulate_static_cell, payloads, workers)):
-            cell["row"]["violation"] = measured["violation"]
-            cell["row"]["p95"] = measured["p95"]
+            cell["row"].update(measured)
     return result

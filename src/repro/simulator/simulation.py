@@ -520,16 +520,19 @@ class _Completion:
                     ).tolist()
                     exp_i = 0
                 state.exp_i = exp_i + 1
+                processing = buf[exp_i] * mean_ms
                 self.service = job.service
                 self.node = job.node
                 self.arrival = job.arrival
                 self.done = job.done
+                if tele is not None:
+                    tele.note_processing(
+                        job.done, finish, processing, mean_ms / state.base_ms
+                    )
                 events = sim.events
                 count = events._counter
                 events._counter = count + 1
-                heappush(
-                    events._heap, (finish + buf[exp_i] * mean_ms, count, self)
-                )
+                heappush(events._heap, (finish + processing, count, self))
                 if fifo and container.free_threads > 0:
                     sim._dispatch(state, container)
                 return
@@ -637,6 +640,11 @@ class _Arrival:
                     ).tolist()
                     exp_i = 0
                 state.exp_i = exp_i + 1
+                processing = exp_buf[exp_i] * mean_ms
+                if tele is not None:
+                    tele.note_processing(
+                        done, t, processing, mean_ms / state.base_ms
+                    )
                 cpool = sim._completion_pool
                 if cpool:
                     event = cpool.pop()
@@ -653,9 +661,7 @@ class _Arrival:
                 events = self.events
                 count = events._counter
                 events._counter = count + 1
-                heappush(
-                    events._heap, (t + exp_buf[exp_i] * mean_ms, count, event)
-                )
+                heappush(events._heap, (t + processing, count, event))
             else:
                 fifo.append(_Job(name, node, t, done))
                 if free > 0:
@@ -1009,6 +1015,12 @@ class ClusterSimulator:
                     ).tolist()
                     exp_i = 0
                 state.exp_i = exp_i + 1
+                processing = buf[exp_i] * mean_ms
+                tele = self._telemetry
+                if tele is not None:
+                    tele.note_processing(
+                        done, now, processing, mean_ms / state.base_ms
+                    )
                 pool = self._completion_pool
                 if pool:
                     event = pool.pop()
@@ -1024,9 +1036,7 @@ class ClusterSimulator:
                     )
                 count = events._counter
                 events._counter = count + 1
-                heappush(
-                    events._heap, (now + buf[exp_i] * mean_ms, count, event)
-                )
+                heappush(events._heap, (now + processing, count, event))
                 return
             fifo.append(_Job(service, node, t, done))
             if free > 0:
@@ -1046,6 +1056,7 @@ class ClusterSimulator:
         fifo = container.fifo
         queue = container.queue
         pool = self._completion_pool
+        tele = self._telemetry
         mean_ms = container.mean_ms
         if mean_ms is None:
             mean_ms = state.base_ms * float(
@@ -1070,6 +1081,10 @@ class ClusterSimulator:
                 index = 0
             state.exp_i = index + 1
             processing = buf[index] * mean_ms
+            if tele is not None:
+                tele.note_processing(
+                    job.done, now, processing, mean_ms / state.base_ms
+                )
             if pool:
                 event = pool.pop()
                 event.container = container

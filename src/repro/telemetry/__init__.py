@@ -25,6 +25,7 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
     default_latency_buckets,
+    parse_prometheus_text,
 )
 from repro.telemetry.export import (
     build_run_report,
@@ -48,6 +49,7 @@ __all__ = [
     "build_run_report",
     "chrome_trace_events",
     "default_latency_buckets",
+    "parse_prometheus_text",
     "write_chrome_trace",
     "write_run_report",
 ]

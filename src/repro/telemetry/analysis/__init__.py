@@ -1,0 +1,66 @@
+"""Trace analytics engine (paper §5.1–§5.3 turned inward on the DES).
+
+Four analyses over one run's telemetry — live
+:class:`~repro.telemetry.TelemetrySink` output or post-hoc
+:class:`~repro.tracing.spans.TraceRecord` lists are consumed uniformly:
+
+* :mod:`~repro.telemetry.analysis.critical_path` — per-trace critical-path
+  extraction, decomposing end-to-end latency exactly into per-microservice
+  own latency (and, with engine timings, queue wait / service time /
+  interference inflation).
+* :mod:`~repro.telemetry.analysis.blame` — SLA blame attribution against
+  the Eq. 5 latency targets, with priority-inversion flagging at shared
+  microservices (Eqs. 13–14).
+* :mod:`~repro.telemetry.analysis.drift` — profile-drift detection by
+  refitting the Eq. 15 piecewise model on live windows, alerting through
+  the existing SLA monitor / decision log.
+* :mod:`~repro.telemetry.analysis.report` — :func:`analyze_run`, the
+  one-call pipeline behind ``python -m repro analyze``.
+
+Tail-based sampling itself lives in the sink
+(:class:`~repro.telemetry.TelemetryConfig` ``tail_threshold_ms`` /
+``tail_floor``); the analyses are designed to stay correct under it —
+blame tests violating-trace *presence*, never healthy-traffic rates.
+"""
+
+from repro.telemetry.analysis.blame import (
+    BlameEntry,
+    BlameReport,
+    PriorityInversion,
+    attribute_blame,
+)
+from repro.telemetry.analysis.critical_path import (
+    CriticalPath,
+    PathSegment,
+    critical_path_summary,
+    extract_critical_path,
+)
+from repro.telemetry.analysis.drift import (
+    DriftReport,
+    DriftThresholds,
+    detect_profile_drift,
+    refit_profile,
+)
+from repro.telemetry.analysis.report import (
+    AnalysisOptions,
+    RunAnalysis,
+    analyze_run,
+)
+
+__all__ = [
+    "AnalysisOptions",
+    "BlameEntry",
+    "BlameReport",
+    "CriticalPath",
+    "DriftReport",
+    "DriftThresholds",
+    "PathSegment",
+    "PriorityInversion",
+    "RunAnalysis",
+    "analyze_run",
+    "attribute_blame",
+    "critical_path_summary",
+    "detect_profile_drift",
+    "extract_critical_path",
+    "refit_profile",
+]

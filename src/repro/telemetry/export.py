@@ -93,7 +93,9 @@ def write_chrome_trace(traces: Iterable[TraceRecord], path: str) -> int:
     return len(events)
 
 
-def build_run_report(sink, result, specs: Optional[Sequence] = None) -> Dict:
+def build_run_report(
+    sink, result, specs: Optional[Sequence] = None, analysis=None
+) -> Dict:
     """Assemble the plain-JSON report of one instrumented run.
 
     Args:
@@ -102,6 +104,10 @@ def build_run_report(sink, result, specs: Optional[Sequence] = None) -> Dict:
             :class:`~repro.simulator.simulation.SimulationResult`.
         specs: Optional service specs; adds per-service SLA context when
             the sink's monitor has none.
+        analysis: Optional
+            :class:`~repro.telemetry.analysis.RunAnalysis` — adds an
+            ``"analysis"`` section (critical-path attribution, SLA blame,
+            drift verdicts, sampling stats) to the report.
     """
     slas = dict(sink.monitor.slas)
     if specs:
@@ -124,7 +130,7 @@ def build_run_report(sink, result, specs: Optional[Sequence] = None) -> Dict:
                 )
         services[name] = entry
 
-    return {
+    report: Dict = {
         "schema": 1,
         "duration_min": result.duration_min,
         "warmup_min": result.warmup_min,
@@ -139,12 +145,18 @@ def build_run_report(sink, result, specs: Optional[Sequence] = None) -> Dict:
         "registry": sink.registry.snapshot(),
         "traces_collected": len(sink.traces),
         "traces_sampled": sink.sampled_traces,
+        "traces_kept": sink.kept_traces,
+        "tail_dropped": sink.tail_dropped,
+        "tail_threshold_ms": sink.config.tail_threshold_ms,
         "profiling_samples": {
             "latencies": len(sink.metrics.latencies),
             "call_counts": len(sink.metrics.call_counts),
             "utilization": len(sink.metrics.utilization),
         },
     }
+    if analysis is not None:
+        report["analysis"] = analysis.to_dict()
+    return report
 
 
 def write_run_report(report: Dict, path: str) -> None:

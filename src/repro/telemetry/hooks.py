@@ -47,7 +47,7 @@ import numpy as np
 from repro.telemetry.monitor import DecisionLog, SLAMonitor
 from repro.telemetry.registry import MetricsRegistry
 from repro.tracing.metrics import MetricsStore
-from repro.tracing.spans import Span, SpanKind, TraceRecord
+from repro.tracing.spans import Span, SpanKind, SpanTiming, TraceRecord
 
 _MS_PER_MINUTE = 60_000.0
 
@@ -69,6 +69,18 @@ class TelemetryConfig:
         seed: Seed of the sampling decision stream — deliberately a
             *separate* RNG so enabling telemetry never perturbs the
             engine's pinned draw order.
+        tail_threshold_ms: When set, switch trace retention to
+            *tail-based* sampling: every (head-sampled) request buffers
+            raw span tuples, but full traces are materialized only for
+            requests whose end-to-end latency exceeds this threshold —
+            plus a uniform ``tail_floor`` of baseline traffic.  With a
+            threshold at/below the SLA, every violating request keeps its
+            trace while the bulk of healthy traffic is dropped before any
+            Span object is built.  ``None`` (default) keeps every buffered
+            trace (head sampling only).
+        tail_floor: Uniform keep probability for requests under the tail
+            threshold (a small healthy-baseline sample, like production
+            tail samplers retain).  Drawn from the sink's own RNG.
         max_traces: Retain at most this many assembled traces on the sink
             (``None`` = unbounded).  Traces are still offered to the
             coordinator after the cap.
@@ -82,6 +94,8 @@ class TelemetryConfig:
     spans: bool = True
     sampling_rate: float = 1.0
     seed: int = 0
+    tail_threshold_ms: Optional[float] = None
+    tail_floor: float = 0.01
     max_traces: Optional[int] = None
     cpu_utilization: float = 0.0
     memory_utilization: float = 0.0
@@ -95,29 +109,51 @@ class TelemetryConfig:
             raise ValueError(
                 f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
             )
+        if self.tail_threshold_ms is not None and self.tail_threshold_ms <= 0:
+            raise ValueError(
+                f"tail_threshold_ms must be positive, got {self.tail_threshold_ms}"
+            )
+        if not 0.0 <= self.tail_floor <= 1.0:
+            raise ValueError(
+                f"tail_floor must be in [0, 1], got {self.tail_floor}"
+            )
 
 
 class _TraceCtx:
-    """Per-request span accumulator (sampled requests only)."""
+    """Per-request span buffer (sampled requests only).
 
-    __slots__ = ("sink", "trace_id", "service", "start", "spans", "n")
+    Spans are buffered as raw tuples — ``(server_id, client_id,
+    parent_id, microservice, caller, start, finish, proc_start, proc_ms,
+    mult)`` — and materialized into :class:`Span` objects only when the
+    trace is actually retained (see ``TelemetrySink._complete_trace``).
+    With tail-based sampling that skips the two frozen-dataclass
+    constructions per call for every dropped trace, which is where the
+    bulk of the full-sampling overhead went.
+    """
+
+    __slots__ = ("sink", "trace_id", "service", "start", "raw", "n")
 
     def __init__(self, sink: "TelemetrySink", trace_id: str, service: str, start: float):
         self.sink = sink
         self.trace_id = trace_id
         self.service = service
         self.start = start
-        self.spans: List[Span] = []
+        self.raw: List[tuple] = []
         self.n = 1  # span-id counter (id 0 is the root server span)
 
 
 class _SpanDone:
-    """Completion continuation that emits this call's span pair.
+    """Completion continuation that buffers this call's span pair.
 
     Fired when the call's whole subtree finishes (the engine's ``done``
-    chain); emits the callee's SERVER span and — for non-root calls —
-    the caller's CLIENT span, then delegates to the wrapped
-    continuation.  The root instance finalizes the trace.
+    chain); appends one raw tuple covering the callee's SERVER span and —
+    for non-root calls — the caller's CLIENT span, then delegates to the
+    wrapped continuation.  The root instance finalizes the trace.
+
+    ``proc_start`` / ``proc_ms`` / ``mult`` are stamped by the engine via
+    ``TelemetrySink.note_processing`` the moment the call acquires a
+    worker thread, making the queue-wait / service-time / interference
+    split exact (``SpanTiming``) for retained traces.
     """
 
     __slots__ = (
@@ -130,6 +166,9 @@ class _SpanDone:
         "start",
         "inner",
         "root",
+        "proc_start",
+        "proc_ms",
+        "mult",
     )
 
     def __init__(
@@ -144,20 +183,26 @@ class _SpanDone:
         self.start = start
         self.inner = inner
         self.root = root
+        self.proc_start = start
+        self.proc_ms = None
+        self.mult = 1.0
 
     def __call__(self, finish: float) -> None:
         ctx = self.ctx
-        spans = ctx.spans
-        client_id = self.client_id
-        spans.append(
-            Span(self.server_id, client_id, self.microservice, SpanKind.SERVER,
-                 self.start, finish)
-        )
-        if client_id is not None:
-            spans.append(
-                Span(client_id, self.parent_id, self.caller, SpanKind.CLIENT,
-                     self.start, finish)
+        ctx.raw.append(
+            (
+                self.server_id,
+                self.client_id,
+                self.parent_id,
+                self.microservice,
+                self.caller,
+                self.start,
+                finish,
+                self.proc_start,
+                self.proc_ms,
+                self.mult,
             )
+        )
         if self.root:
             ctx.sink._complete_trace(ctx, finish)
         self.inner(finish)
@@ -214,6 +259,8 @@ class TelemetrySink:
         self._flushed_minute = 0
         self._last_event_counter = 0
         self._sampled = 0
+        self._kept = 0
+        self._tail_dropped = 0
 
     # ------------------------------------------------------------------
     # Run lifecycle (called by ClusterSimulator)
@@ -283,6 +330,22 @@ class TelemetrySink:
             frame,
             False,
         )
+
+    def note_processing(
+        self, done, start_ms: float, proc_ms: float, mult: float
+    ) -> None:
+        """Engine hook: the call behind ``done`` acquired a thread.
+
+        Called by the simulator at every job start (all four scheduling
+        sites) with the processing start time, the drawn processing
+        duration, and the container's interference multiplier at that
+        moment.  A no-op for unsampled requests (``done`` is not a span
+        continuation), and never touches the engine RNG.
+        """
+        if type(done) is _SpanDone:
+            done.proc_start = start_ms
+            done.proc_ms = proc_ms
+            done.mult = mult
 
     def record_call(self, microservice: str, finish_ms: float, own_ms: float) -> None:
         """One processed call: own latency + per-minute call count."""
@@ -396,17 +459,80 @@ class TelemetrySink:
     # ------------------------------------------------------------------
     def _complete_trace(self, ctx: _TraceCtx, finish: float) -> None:
         self.record_e2e(ctx.service, ctx.start, finish)
-        record = TraceRecord(
-            trace_id=ctx.trace_id, service=ctx.service, spans=ctx.spans
+        config = self.config
+        threshold = config.tail_threshold_ms
+        if threshold is not None and finish - ctx.start <= threshold:
+            # Tail decision: under the latency threshold, keep only the
+            # uniform floor (drawn from the sink's RNG, never the
+            # engine's).  Dropped traces discard their raw buffer without
+            # ever building a Span.
+            if config.tail_floor <= 0.0 or self._rng.random() >= config.tail_floor:
+                self._tail_dropped += 1
+                return
+        self._kept += 1
+        retain = (
+            config.max_traces is None or len(self.traces) < config.max_traces
         )
-        max_traces = self.config.max_traces
-        if max_traces is None or len(self.traces) < max_traces:
+        coordinator = self.coordinator
+        if not retain and coordinator is None:
+            return  # nobody would see the materialized record
+        record = self._materialize(ctx)
+        if retain:
             self.traces.append(record)
-        if self.coordinator is not None:
-            self.coordinator.offer(record)
+        if coordinator is not None:
+            coordinator.offer(record)
+
+    def _materialize(self, ctx: _TraceCtx) -> TraceRecord:
+        """Build the Span objects of one retained trace from raw tuples."""
+        spans: List[Span] = []
+        append = spans.append
+        timings: Dict[str, SpanTiming] = {}
+        server = SpanKind.SERVER
+        client = SpanKind.CLIENT
+        for (
+            server_id,
+            client_id,
+            parent_id,
+            microservice,
+            caller,
+            start,
+            finish,
+            proc_start,
+            proc_ms,
+            mult,
+        ) in ctx.raw:
+            append(Span(server_id, client_id, microservice, server, start, finish))
+            if client_id is not None:
+                append(Span(client_id, parent_id, caller, client, start, finish))
+            if proc_ms is not None:
+                timings[server_id] = SpanTiming(
+                    queue_ms=proc_start - start,
+                    service_ms=proc_ms,
+                    inflation_ms=0.0 if mult == 1.0 else proc_ms - proc_ms / mult,
+                )
+        return TraceRecord(
+            trace_id=ctx.trace_id,
+            service=ctx.service,
+            spans=spans,
+            timings=timings or None,
+        )
 
     # ------------------------------------------------------------------
     @property
     def sampled_traces(self) -> int:
-        """Requests that produced spans (before any ``max_traces`` cap)."""
+        """Requests that buffered spans (before any tail/``max_traces`` cap)."""
         return self._sampled
+
+    @property
+    def kept_traces(self) -> int:
+        """Traces that survived the tail-sampling decision.
+
+        Equal to :attr:`sampled_traces` without a tail threshold; the
+        ``max_traces`` retention cap applies after this count.
+        """
+        return self._kept
+
+    @property
+    def tail_dropped(self) -> int:
+        """Buffered traces dropped by the tail-sampling decision."""
+        return self._tail_dropped

@@ -11,6 +11,7 @@ telemetry path stays cheap and the disabled path costs nothing at all.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
 
@@ -20,7 +21,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_latency_buckets",
+    "parse_prometheus_text",
 ]
+
+#: Characters legal in a Prometheus metric name; everything else maps to "_".
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a registry metric name into a Prometheus metric name."""
+    sanitized = _NAME_ILLEGAL.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_float(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
 
 
 def default_latency_buckets() -> List[float]:
@@ -160,3 +182,89 @@ class MetricsRegistry:
                 entry["p99"] = hist.quantile(0.99)
             report["histograms"][name] = entry
         return report
+
+    def expose_text(self) -> str:
+        """Render every metric in Prometheus text exposition format.
+
+        Counters are suffixed ``_total``; histograms emit cumulative
+        ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``, ending
+        with the mandatory ``le="+Inf"`` bucket — the exact layout
+        ``promtool`` and any Prometheus scraper accept.  Registry names
+        containing characters illegal in Prometheus metric names (the
+        sink's ``e2e_latency_ms.<service>`` histograms) are sanitized to
+        underscores.
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self.counters.items()):
+            prom = _prom_name(name) + "_total"
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_float(counter.value)}")
+        for name, gauge in sorted(self.gauges.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_float(gauge.value)}")
+        for name, hist in sorted(self.histograms.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_float(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{prom}_sum {_prom_float(hist.sum)}")
+            lines.append(f"{prom}_count {hist.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict]:
+    """Parse Prometheus text exposition back into a structured dict.
+
+    The inverse of :meth:`MetricsRegistry.expose_text` (for round-trip
+    tests and downstream tooling): returns ``{metric_name: {"type": ...,
+    "value": ...}}`` for counters/gauges and ``{"type": "histogram",
+    "buckets": {le: cumulative_count}, "sum": ..., "count": ...}`` for
+    histograms.  Counter names keep their ``_total`` suffix, matching the
+    exposition.
+    """
+    metrics: Dict[str, Dict] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        value = float(value_part)
+        if "{" in name_part:
+            base, _, label_part = name_part.partition("{")
+            labels = label_part.rstrip("}")
+            metric = base[: -len("_bucket")] if base.endswith("_bucket") else base
+            entry = metrics.setdefault(
+                metric,
+                {"type": types.get(metric, "histogram"), "buckets": {}},
+            )
+            if base.endswith("_bucket") and labels.startswith('le="'):
+                entry["buckets"][float(labels[4:-1])] = value
+        else:
+            base = name_part
+            for suffix in ("_sum", "_count"):
+                if base.endswith(suffix) and base[: -len(suffix)] in types:
+                    metric = base[: -len(suffix)]
+                    entry = metrics.setdefault(
+                        metric,
+                        {"type": types.get(metric, "histogram"), "buckets": {}},
+                    )
+                    entry[suffix[1:]] = value
+                    break
+            else:
+                metrics[base] = {
+                    "type": types.get(base, "untyped"),
+                    "value": value,
+                }
+    return metrics

@@ -9,7 +9,13 @@ parallel), derives per-microservice latency via paper Eq. 1, and assembles
 per-minute profiling samples.
 """
 
-from repro.tracing.spans import Span, SpanKind, TraceRecord, synthesize_trace
+from repro.tracing.spans import (
+    Span,
+    SpanKind,
+    SpanTiming,
+    TraceRecord,
+    synthesize_trace,
+)
 from repro.tracing.coordinator import TracingCoordinator
 from repro.tracing.metrics import MetricsStore, UtilizationSample
 from repro.tracing.serialization import (
@@ -22,6 +28,7 @@ from repro.tracing.serialization import (
 __all__ = [
     "Span",
     "SpanKind",
+    "SpanTiming",
     "TraceRecord",
     "synthesize_trace",
     "TracingCoordinator",

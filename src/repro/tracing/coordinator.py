@@ -46,6 +46,46 @@ def group_parallel(client_spans: Sequence[Span]) -> List[List[Span]]:
     return stages
 
 
+def _server_duration(trace: TraceRecord, client_span: Span) -> float:
+    """Server-side response time (S_d − R_d) of a client span's call.
+
+    Eq. 1 subtracts the *server* span duration, so the caller's own
+    latency keeps the transmission time — the paper notes L_i includes
+    it.  Falls back to the client duration when the server span was
+    lost (e.g. sampling).
+    """
+    servers = [
+        s for s in trace.children_of(client_span) if s.kind is SpanKind.SERVER
+    ]
+    if not servers:
+        return client_span.duration
+    return max(s.duration for s in servers)
+
+
+def trace_own_latencies(trace: TraceRecord) -> Dict[str, List[float]]:
+    """Own latency of every microservice occurrence in one trace (Eq. 1).
+
+    For each server span: response time minus the summed per-stage
+    downstream response times (max within each parallel stage).  The
+    residual includes queueing, processing, and transmission, exactly
+    the quantity Erms profiles.  Shared by the
+    :class:`TracingCoordinator` and the trace analytics engine
+    (:mod:`repro.telemetry.analysis`).
+    """
+    latencies: Dict[str, List[float]] = {}
+    for span in trace.server_spans():
+        client_children = [
+            s for s in trace.children_of(span) if s.kind is SpanKind.CLIENT
+        ]
+        downstream = sum(
+            max(_server_duration(trace, s) for s in stage)
+            for stage in group_parallel(client_children)
+        )
+        own = span.duration - downstream
+        latencies.setdefault(span.microservice, []).append(max(own, 0.0))
+    return latencies
+
+
 @dataclass
 class TracingCoordinator:
     """Collects traces and extracts graphs and latencies.
@@ -128,43 +168,10 @@ class TracingCoordinator:
     def microservice_latencies(self, trace: TraceRecord) -> Dict[str, List[float]]:
         """Own latency of every microservice occurrence in one trace.
 
-        For each server span: response time minus the summed per-stage
-        downstream response times (max within each parallel stage).  The
-        residual includes queueing, processing, and transmission, exactly
-        the quantity Erms profiles.
+        Delegates to the module-level :func:`trace_own_latencies` (shared
+        with the trace analytics engine).
         """
-        latencies: Dict[str, List[float]] = {}
-        for span in trace.server_spans():
-            client_children = [
-                s
-                for s in trace.children_of(span)
-                if s.kind is SpanKind.CLIENT
-            ]
-            downstream = sum(
-                max(self._server_duration(trace, s) for s in stage)
-                for stage in group_parallel(client_children)
-            )
-            own = span.duration - downstream
-            latencies.setdefault(span.microservice, []).append(max(own, 0.0))
-        return latencies
-
-    @staticmethod
-    def _server_duration(trace: TraceRecord, client_span: Span) -> float:
-        """Server-side response time (S_d − R_d) of a client span's call.
-
-        Eq. 1 subtracts the *server* span duration, so the caller's own
-        latency keeps the transmission time — the paper notes L_i includes
-        it.  Falls back to the client duration when the server span was
-        lost (e.g. sampling).
-        """
-        servers = [
-            s
-            for s in trace.children_of(client_span)
-            if s.kind is SpanKind.SERVER
-        ]
-        if not servers:
-            return client_span.duration
-        return max(s.duration for s in servers)
+        return trace_own_latencies(trace)
 
     def latency_samples(self, service: str) -> Dict[str, List[float]]:
         """Pooled own-latency samples per microservice across all traces."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.graphs import CallNode, DependencyGraph
 
@@ -67,13 +67,53 @@ class Span:
         return self.start < other.end and other.start < self.end
 
 
+@dataclass(frozen=True)
+class SpanTiming:
+    """Exact engine-side decomposition of one server span's own latency.
+
+    Real tracing backends only see span boundaries; the DES additionally
+    knows when the job acquired a worker thread and how long it held it,
+    so a live-instrumented trace can split own latency exactly:
+
+    ``own = queue_ms + service_ms`` and ``service_ms`` further splits into
+    an interference-free base plus the inflation the host multiplier added
+    (``inflation_ms = service_ms * (1 - 1/multiplier)``).  Post-hoc traces
+    (synthesized or imported) carry no timings and analyzers fall back to
+    the Eq. 1 own-latency residual alone.
+    """
+
+    queue_ms: float
+    service_ms: float
+    inflation_ms: float = 0.0
+
+    @property
+    def own_ms(self) -> float:
+        return self.queue_ms + self.service_ms
+
+    @property
+    def base_service_ms(self) -> float:
+        return self.service_ms - self.inflation_ms
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "queue_ms": round(self.queue_ms, 6),
+            "service_ms": round(self.service_ms, 6),
+            "inflation_ms": round(self.inflation_ms, 6),
+        }
+
+
 @dataclass
 class TraceRecord:
-    """All spans of one end-to-end request."""
+    """All spans of one end-to-end request.
+
+    ``timings`` optionally maps server span ids to the engine's exact
+    :class:`SpanTiming` decomposition (live-instrumented runs only).
+    """
 
     trace_id: str
     service: str
     spans: List[Span] = field(default_factory=list)
+    timings: Optional[Dict[str, SpanTiming]] = None
 
     def root(self) -> Span:
         """The entering microservice's SERVER span."""

@@ -36,6 +36,44 @@ class TestParser:
         assert args.window == 1.0
         assert args.sampling == 1.0
         assert args.output is None
+        assert args.tail_threshold is None
+        assert args.format == "tables"
+
+    def test_report_sampling_rate_alias(self):
+        args = build_parser().parse_args(["report", "--sampling-rate", "0.5"])
+        assert args.sampling == 0.5
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.app == "social-network"
+        assert args.duration == 3.0
+        assert args.window == 1.0
+        assert args.max_traces == 5000
+        assert args.top_paths == 5
+        assert args.sampling_rate == 1.0
+        assert args.tail_threshold is None
+        assert args.output is None
+
+    def test_simulate_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--sampling-rate", "0.25", "--tail-threshold", "80"]
+        )
+        assert args.sampling_rate == 0.25
+        assert args.tail_threshold == 80.0
+
+    def test_compare_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--sampling-rate", "0.5", "--tail-threshold", "120"]
+        )
+        assert args.sampling_rate == 0.5
+        assert args.tail_threshold == 120.0
+
+    def test_report_format_choices(self):
+        assert build_parser().parse_args(
+            ["report", "--format", "prom"]
+        ).format == "prom"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--format", "xml"])
 
 
 class TestCommands:
@@ -104,3 +142,40 @@ class TestCommands:
         assert report["windows"]
         trace = json.loads(trace_path.read_text())
         assert trace["traceEvents"]
+
+    def test_simulate_tail_sampling_prints_retention(self, capsys):
+        assert main(["simulate", "--app", "hotel-reservation",
+                     "--workload", "2000", "--duration", "0.4",
+                     "--tail-threshold", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Traces:" in out
+        assert "tail_dropped=" in out
+
+    def test_report_prom_format_parses(self, capsys):
+        from repro.telemetry import parse_prometheus_text
+
+        assert main(["report", "--app", "hotel-reservation",
+                     "--workload", "2000", "--sla", "250",
+                     "--duration", "0.6", "--interval", "0.3",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        parsed = parse_prometheus_text(out)
+        assert parsed["requests_completed_total"]["value"] > 0
+        assert any(name.startswith("e2e_latency_ms") for name in parsed)
+
+    def test_analyze_prints_attribution(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "analysis.json"
+        assert main(["analyze", "--app", "hotel-reservation",
+                     "--workload", "2000", "--sla", "250",
+                     "--duration", "0.6", "--interval", "0.3",
+                     "--window", "0.2", "--tail-threshold", "100",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical-path attribution" in out
+        assert "Sampling: tail>100ms" in out
+        report = json.loads(out_path.read_text())
+        analysis = report["analysis"]
+        assert analysis["critical_path"]
+        assert "sampling" in analysis

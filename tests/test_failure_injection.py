@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.telemetry import TelemetrySink
+
 from repro.core import ErmsScaler, ServiceSpec
 from repro.graphs import DependencyGraph, call
 from repro.simulator import (
@@ -103,3 +105,98 @@ class TestAutoscalerRecovery:
             result.simulation.completed["svc"]
             == result.simulation.generated["svc"]
         )
+
+
+class TestDecisionLogUnderFailure:
+    """The decision audit log pairs every crash with its recovery.
+
+    Each injected failure must appear as a ``failure-injection`` record,
+    and the control loop's reconcile that restores the lost capacity
+    must appear later (causally ordered minutes) as a record with a
+    positive delta on the same microservice.
+    """
+
+    def run_with_failures(self, failure_times_ms, seed=3):
+        spec = ServiceSpec(
+            "svc", DependencyGraph("svc", call("B")), workload=0.0, sla=200.0
+        )
+        simulated = {
+            "B": SimulatedMicroservice("B", base_service_ms=5.0, threads=2)
+        }
+        profiles = {"B": analytic_profile("B", 5.0, 2)}
+        sink = TelemetrySink()
+        sim = AutoscaledSimulation(
+            [spec],
+            simulated,
+            ErmsScaler(),
+            profiles,
+            rates={"svc": StaticRate(30_000.0)},
+            config=SimulationConfig(duration_min=6.0, warmup_min=0.0, seed=seed),
+            autoscale=AutoscaleConfig(interval_min=1.0, startup_delay_ms=500.0),
+            telemetry=sink,
+        )
+        for when in failure_times_ms:
+            sim.simulator.events.schedule(
+                when, lambda t: sim.simulator.inject_container_failure("B")
+            )
+        sim.run()
+        return sink.decisions.records
+
+    def test_each_failure_pairs_with_a_reconcile(self):
+        records = self.run_with_failures([90_000.0, 210_000.0])
+        failures = [r for r in records if r.actor == "failure-injection"]
+        assert len(failures) == 2
+        for failure in failures:
+            assert failure.microservice == "B"
+            assert failure.delta == -1
+            recoveries = [
+                r
+                for r in records
+                if "reconcile" in r.reason
+                and r.microservice == failure.microservice
+                and r.minute > failure.minute
+                and r.delta > 0
+            ]
+            assert recoveries, (
+                f"failure at minute {failure.minute:.2f} never reconciled"
+            )
+
+    def test_records_are_causally_ordered(self):
+        records = self.run_with_failures([90_000.0, 210_000.0])
+        minutes = [r.minute for r in records]
+        assert minutes == sorted(minutes)
+        # The audit trail distinguishes who acted: injected crashes and
+        # the control loop's reconciles both appear.
+        actors = {r.actor for r in records}
+        assert "failure-injection" in actors
+        assert any("reconcile" in r.reason for r in records)
+
+    def test_reason_distinguishes_retry_mode(self):
+        spec = ServiceSpec(
+            "svc", DependencyGraph("svc", call("B")), workload=0.0, sla=1e9
+        )
+        sink = TelemetrySink()
+        sim = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=2)},
+            containers={"B": 3},
+            rates={"svc": 10_000.0},
+            config=SimulationConfig(duration_min=1.0, warmup_min=0.0, seed=1),
+            telemetry=sink,
+        )
+        sim.events.schedule(
+            20_000.0, lambda t: sim.inject_container_failure("B")
+        )
+        sim.events.schedule(
+            40_000.0,
+            lambda t: sim.inject_container_failure("B", retry=False),
+        )
+        sim.run()
+        reasons = [
+            r.reason
+            for r in sink.decisions.records
+            if r.actor == "failure-injection"
+        ]
+        assert len(reasons) == 2
+        assert "retried" in reasons[0]
+        assert "lost" in reasons[1]

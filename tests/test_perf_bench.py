@@ -45,6 +45,23 @@ class TestRunnerSmoke:
         assert current > 0 and baseline > 0
         assert report["saturation_speedup_vs_seed"] >= 3.0
 
+    def test_checked_in_report_records_tail_sampling(self):
+        """Tail-based sampling numbers ride along with telemetry_overhead.
+
+        Reads the committed report (no timing here): the tail run must
+        keep only a small fraction of traces and cost less than full
+        retention on the same scenario.
+        """
+        report = json.loads((REPO_ROOT / "BENCH_des.json").read_text())
+        tail = report["benchmarks"]["tail_sampling"]
+        assert tail["tail_threshold_ms"] > 0
+        assert tail["keep_fraction"] <= 0.15
+        assert tail["traces_kept"] < tail["traces_sampled"]
+        assert tail["tail_overhead_pct"] < tail["full_overhead_pct"]
+        analysis = report["benchmarks"]["analysis_throughput"]
+        assert analysis["traces"] > 0
+        assert analysis["critical_path_traces_per_sec"] > 0
+
 
 @pytest.mark.perf
 class TestMicroTimingGuard:

@@ -35,6 +35,7 @@ from repro.telemetry import (
     build_run_report,
     chrome_trace_events,
     default_latency_buckets,
+    parse_prometheus_text,
     write_chrome_trace,
     write_run_report,
 )
@@ -119,6 +120,68 @@ class TestRegistry:
         json.dumps(snapshot)  # must not raise
         assert snapshot["counters"]["c"] == 1
         assert "h" in snapshot["histograms"]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+class TestPrometheusExposition:
+    def test_round_trip_all_metric_kinds(self):
+        registry = MetricsRegistry(latency_bounds=[1.0, 10.0, 100.0])
+        registry.counter("requests").inc(42)
+        registry.gauge("queue_depth").set(7.5)
+        histogram = registry.histogram("latency_ms")
+        for value in [0.5, 5.0, 50.0, 500.0]:
+            histogram.observe(value)
+
+        parsed = parse_prometheus_text(registry.expose_text())
+        assert parsed["requests_total"]["value"] == 42
+        assert parsed["queue_depth"]["value"] == 7.5
+        hist = parsed["latency_ms"]
+        assert hist["type"] == "histogram"
+        # Cumulative buckets: 1 below le=1, 2 below le=10, 3 below le=100,
+        # all 4 below +Inf.
+        assert hist["buckets"][1.0] == 1
+        assert hist["buckets"][10.0] == 2
+        assert hist["buckets"][100.0] == 3
+        assert hist["buckets"][float("inf")] == 4
+        assert hist["sum"] == pytest.approx(555.5)
+        assert hist["count"] == 4
+
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        rng = np.random.default_rng(0)
+        for value in rng.exponential(20.0, size=200):
+            histogram.observe(float(value))
+        hist = parse_prometheus_text(registry.expose_text())["h"]
+        counts = [hist["buckets"][le] for le in sorted(hist["buckets"])]
+        assert counts == sorted(counts)
+        assert counts[-1] == hist["count"] == 200
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("latency.ms/svc-a").inc()
+        text = registry.expose_text()
+        assert "latency_ms_svc_a_total 1" in text
+        assert "latency.ms" not in text
+
+    def test_type_lines_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(3.0)
+        text = registry.expose_text()
+        assert "# TYPE c_total counter" in text
+        assert "# TYPE g gauge" in text
+        assert "# TYPE h histogram" in text
+        assert text.endswith("\n")
+
+    def test_live_run_exposition_parses(self):
+        sink, result = run_instrumented()
+        parsed = parse_prometheus_text(sink.registry.expose_text())
+        completed = sum(result.completed.values())
+        assert parsed["requests_completed_total"]["value"] == completed
 
 
 # ----------------------------------------------------------------------
