@@ -9,8 +9,17 @@ Three single-process benchmarks plus one parallel-grid benchmark:
   ``simulate=True``: the experiment layer end to end (scale + replay).
 * ``trace_slice`` — an Alibaba-scale population slice allocated
   analytically: the allocation layer at fan-out.
-* ``parallel_grid`` — a small simulated static grid at ``workers=1``
-  versus multi-process, reporting the grid speedup.
+* ``parallel_grid`` — a simulated static grid (8 cells) at ``workers=1``
+  versus a warm 4-worker :class:`~repro.experiments.parallel.WorkerPool`,
+  reporting the grid speedup plus the pool's per-cell dispatch overhead
+  and payload size (the shared-context design ships the application once
+  per worker; payloads are index-plus-scalar dicts).
+* ``allocation_throughput`` — the Eq. 5 / §5.3.1 hot path over a
+  (workload × SLA) grid three ways: scalar (caches off, the pre-PR
+  cost), memoized (`compute_service_targets` with the cross-cell memo),
+  and grid-batched (`compute_targets_grid`); plus interference-aware
+  provisioner placements/sec through the incremental ``ClusterIndex``.
+  All three paths are verified cell-for-cell identical.
 * ``telemetry_overhead`` — the saturation scenario with no telemetry
   versus a fully-enabled :class:`~repro.telemetry.TelemetrySink` (spans,
   windows, live MetricsStore), reporting the enabled-path overhead and
@@ -25,6 +34,12 @@ Results are written to ``BENCH_des.json`` at the repo root so the perf
 trajectory is tracked across PRs.  ``baseline_seed.json`` (checked in,
 measured on the pre-fast-path seed engine) rides along in the output so
 every report carries the reference numbers.
+
+``--quick`` shrinks every benchmark (shorter simulations, fewer trials,
+smaller grids) for CI smoke runs; rate metrics (events/sec, cells/sec)
+stay comparable to full-mode numbers, wall-clock fields do not.
+``benchmarks/perf/compare.py`` diffs a fresh (quick) run against the
+tracked report and fails on regressions in those rate metrics.
 """
 
 from __future__ import annotations
@@ -53,7 +68,8 @@ from repro.workloads import generate_taobao, social_network  # noqa: E402
 
 
 def bench_saturation(
-    duration_min: float = 2.0, seed: int = 7, trials: int = 3
+    duration_min: float = 2.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
 ) -> dict:
     """Single-microservice run near the capacity knee (engine hot path).
 
@@ -62,6 +78,9 @@ def bench_saturation(
     wall time is the least-noisy estimate on a shared/1-CPU machine;
     the per-trial numbers ride along for inspection.
     """
+    warmup_min = 0.5
+    if quick:
+        duration_min, warmup_min, trials = 0.5, 0.1, 2
     graph = DependencyGraph("svc", call("B"))
     spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
     runs = []
@@ -72,7 +91,7 @@ def bench_saturation(
             containers={"B": 1},
             rates={"svc": 45_000.0},  # capacity: 48k req/min
             config=SimulationConfig(
-                duration_min=duration_min, warmup_min=0.5, seed=seed
+                duration_min=duration_min, warmup_min=warmup_min, seed=seed
             ),
         )
         start = time.perf_counter()
@@ -92,7 +111,7 @@ def bench_saturation(
     }
 
 
-def bench_static_cell(seed: int = 0) -> dict:
+def bench_static_cell(seed: int = 0, quick: bool = False) -> dict:
     """One (workload, SLA, scheme) DSB grid cell with simulation replay."""
     from repro.experiments import run_static_sweep
 
@@ -104,8 +123,8 @@ def bench_static_cell(seed: int = 0) -> dict:
         workloads=[20_000.0],
         slas=[200.0],
         simulate=True,
-        duration_min=1.0,
-        warmup_min=0.3,
+        duration_min=0.3 if quick else 1.0,
+        warmup_min=0.1 if quick else 0.3,
         seed=seed,
     )
     wall = time.perf_counter() - start
@@ -116,12 +135,15 @@ def bench_static_cell(seed: int = 0) -> dict:
     }
 
 
-def bench_trace_slice(seed: int = 42) -> dict:
+def bench_trace_slice(seed: int = 42, quick: bool = False) -> dict:
     """Alibaba-scale slice: analytic allocation over a shared population."""
     from repro.experiments import run_trace_simulation
 
     workload = generate_taobao(
-        n_services=40, mean_graph_size=30, shared_pool=120, seed=seed
+        n_services=15 if quick else 40,
+        mean_graph_size=30,
+        shared_pool=120,
+        seed=seed,
     )
     scaler = ErmsScaler()
     start = time.perf_counter()
@@ -134,21 +156,37 @@ def bench_trace_slice(seed: int = 42) -> dict:
     }
 
 
-def bench_parallel_grid(workers: int = 0, seed: int = 0) -> dict:
-    """Simulated static grid, serial vs. process-parallel (same seeds)."""
+def _noop_cell(cell: dict) -> int:
+    """Pool round-trip probe: isolates dispatch cost from cell work."""
+    return cell.get("i", 0)
+
+
+def bench_parallel_grid(
+    workers: int = 0, seed: int = 0, quick: bool = False
+) -> dict:
+    """Simulated static grid, serial vs. a warm worker pool (same seeds).
+
+    8 cells (4 workloads × 2 SLAs) through one persistent
+    :class:`~repro.experiments.parallel.WorkerPool`.  The pool is warmed
+    (workers forked, dispatch path exercised) before the timed sweep, and
+    the pool's measure mode records what actually crosses the process
+    boundary per cell — with the application in the shared context the
+    payloads are index-plus-scalar dicts, not the app object.  On a
+    machine with fewer CPUs than workers the speedup is honestly ~1x or
+    below; the ``cpus`` field rides along so the number can be read in
+    context.
+    """
     from repro.experiments import run_static_sweep
+    from repro.experiments.parallel import WorkerPool
 
     if workers <= 0:
-        # At least 2 so the process pool is actually exercised (and the
-        # serial-vs-parallel identity checked) even on a 1-CPU machine,
-        # where the speedup will honestly be ~1x or below.
-        workers = max(2, min(4, os.cpu_count() or 1))
+        workers = 4  # the tracked configuration (ISSUE: >= 4 workers)
     app = social_network()
     grid = dict(
-        workloads=[5_000.0, 20_000.0],
+        workloads=[5_000.0, 10_000.0, 20_000.0, 40_000.0],
         slas=[150.0, 300.0],
         simulate=True,
-        duration_min=0.5,
+        duration_min=0.2 if quick else 0.5,
         warmup_min=0.1,
         seed=seed,
     )
@@ -157,13 +195,31 @@ def bench_parallel_grid(workers: int = 0, seed: int = 0) -> dict:
     serial = run_static_sweep(app, [ErmsScaler()], workers=1, **grid)
     serial_wall = time.perf_counter() - start
 
-    start = time.perf_counter()
-    parallel = run_static_sweep(app, [ErmsScaler()], workers=workers, **grid)
-    parallel_wall = time.perf_counter() - start
+    with WorkerPool(workers, measure=True) as pool:
+        # Warm the pool: fork the workers and push one map through, so the
+        # timed sweep pays steady-state dispatch, not first-fork costs.
+        pool.set_context({"warmup": True})
+        pool.map(_noop_cell, [{"i": i} for i in range(workers * 4)])
+
+        probes = [{"i": i} for i in range(64)]
+        start = time.perf_counter()
+        pool.map(_noop_cell, probes)
+        dispatch_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_static_sweep(
+            app, [ErmsScaler()], workers=workers, pool=pool, **grid
+        )
+        parallel_wall = time.perf_counter() - start
+        # Stats of the sweep's own map: the real per-cell payload size.
+        stats = pool.last_map_stats or {}
 
     identical = serial.rows == parallel.rows
+    payload_bytes = stats.get("payload_bytes", 0)
+    mapped_cells = stats.get("cells", 0)
     return {
         "workers": workers,
+        "cpus": os.cpu_count() or 1,
         "cells": len(serial.rows),
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
@@ -171,11 +227,196 @@ def bench_parallel_grid(workers: int = 0, seed: int = 0) -> dict:
         if parallel_wall > 0
         else None,
         "rows_identical": identical,
+        "dispatch_ms_per_cell": round(dispatch_wall / len(probes) * 1e3, 4),
+        "payload_bytes_per_cell": round(payload_bytes / mapped_cells)
+        if payload_bytes > 0 and mapped_cells
+        else None,
+        "chunksize": stats.get("chunksize"),
+    }
+
+
+def bench_allocation_throughput(seed: int = 0, quick: bool = False) -> dict:
+    """Eq. 5 / §5.3.1 grid throughput: scalar vs memoized vs grid-batched.
+
+    Times the allocation hot path over a (workload × SLA) grid of the
+    Social Network application (36 microservices, 3 services) three ways:
+
+    * ``scalar`` — memo off, merge-tree cache cleared before every call:
+      the pre-optimization cost of one ``compute_service_targets`` per
+      (service, cell).
+    * ``memoized`` — the production path: cross-cell targets memo plus
+      the merge-tree cache, warmed over the sweep.
+    * ``grid`` — ``compute_targets_grid`` batching Eq. 5 across SLA
+      columns and container counts across the workload axis, then
+      materializing every cell.
+
+    All three produce bit-identical per-cell results (asserted, reported
+    as ``identical``).  A fourth section times interference-aware
+    provisioner placements/releases through the incremental
+    ``ClusterIndex`` in actions/sec.
+    """
+    from repro.core import (
+        InfeasibleSLAError,
+        InterferenceAwareProvisioner,
+        clear_merge_cache,
+        clear_targets_memo,
+        compute_service_targets,
+        compute_targets_grid,
+        set_targets_memo,
+    )
+    from repro.core.provisioning import Cluster
+
+    app = social_network()
+    profiles = app.analytic_profiles()
+    # Quick mode keeps the full grid: cells/sec amortizes memo misses
+    # over the grid, so shrinking it would change the metric itself and
+    # break the CI comparison against the tracked full-mode report.
+    # The whole bench is sub-second; only the trial count drops.
+    workloads = [2_500.0, 5_000.0, 10_000.0, 20_000.0, 40_000.0, 80_000.0]
+    slas = [120.0, 160.0, 200.0, 250.0, 300.0, 400.0]
+    trials = 1 if quick else 3
+    # Specs are built outside the timed region: spec construction is not
+    # part of the allocation path.
+    cell_specs = [
+        app.with_workloads(
+            {service.name: w for service in app.services}, sla=sla
+        )
+        for w in workloads
+        for sla in slas
+    ]
+    n_services = len(app.services)
+    calls = len(cell_specs) * n_services
+
+    def run_scalar() -> list:
+        set_targets_memo(False)
+        results = []
+        for specs in cell_specs:
+            for spec in specs:
+                clear_merge_cache()  # pre-PR: every call built trees fresh
+                try:
+                    results.append(compute_service_targets(spec, profiles))
+                except InfeasibleSLAError:
+                    results.append(None)
+        return results
+
+    def run_memoized() -> list:
+        set_targets_memo(True)
+        clear_targets_memo()
+        clear_merge_cache()
+        results = []
+        for specs in cell_specs:
+            for spec in specs:
+                try:
+                    results.append(compute_service_targets(spec, profiles))
+                except InfeasibleSLAError:
+                    results.append(None)
+        return results
+
+    def run_grid() -> list:
+        clear_targets_memo()
+        clear_merge_cache()
+        grids = [
+            compute_targets_grid(spec, profiles, workloads, slas)
+            for spec in cell_specs[0]
+        ]
+        results = []
+        for wi in range(len(workloads)):
+            for si in range(len(slas)):
+                for grid in grids:
+                    try:
+                        results.append(grid.cell(wi, si))
+                    except InfeasibleSLAError:
+                        results.append(None)
+        return results
+
+    def best_of(fn):
+        walls, last = [], None
+        for _ in range(max(1, trials)):
+            start = time.perf_counter()
+            last = fn()
+            walls.append(time.perf_counter() - start)
+        return min(walls), last
+
+    try:
+        scalar_wall, scalar_rows = best_of(run_scalar)
+        memo_wall, memo_rows = best_of(run_memoized)
+        grid_wall, grid_rows = best_of(run_grid)
+    finally:
+        set_targets_memo(True)  # restore the production default
+        clear_targets_memo()
+        clear_merge_cache()
+
+    def rows_equal(a, b) -> bool:
+        if len(a) != len(b):
+            return False
+        for left, right in zip(a, b):
+            if (left is None) != (right is None):
+                return False
+            if left is None:
+                continue
+            if (
+                left.targets != right.targets
+                or left.containers != right.containers
+                or left.workloads != right.workloads
+                or left.merged_intercept != right.merged_intercept
+                or left.passes != right.passes
+            ):
+                return False
+        return True
+
+    identical = rows_equal(scalar_rows, memo_rows) and rows_equal(
+        scalar_rows, grid_rows
+    )
+
+    # Provisioner throughput: place a full allocation onto a cluster with
+    # skewed background load, then halve it (releases), through the
+    # incremental ClusterIndex.
+    cluster = Cluster.homogeneous(24)
+    for i, host in enumerate(cluster.hosts):
+        host.background_cpu = (i % 7) * 2.0
+        host.background_memory_mb = (i % 5) * 2_000.0
+    cluster.register(profiles)
+    desired = {}
+    for row in memo_rows:
+        if row is None:
+            continue
+        for name, count in row.containers.items():
+            desired[name] = max(desired.get(name, 0), count)
+    provisioner = InterferenceAwareProvisioner()
+    start = time.perf_counter()
+    plan_up = provisioner.apply(cluster, desired)
+    plan_down = provisioner.apply(
+        cluster, {name: count // 2 for name, count in desired.items()}
+    )
+    provisioner_wall = time.perf_counter() - start
+    actions = len(plan_up.actions) + len(plan_down.actions)
+
+    return {
+        "grid_workloads": len(workloads),
+        "grid_slas": len(slas),
+        "services": n_services,
+        "calls": calls,
+        "scalar_wall_s": round(scalar_wall, 4),
+        "memoized_wall_s": round(memo_wall, 4),
+        "grid_wall_s": round(grid_wall, 4),
+        "scalar_cells_per_sec": round(calls / scalar_wall, 1),
+        "memoized_cells_per_sec": round(calls / memo_wall, 1),
+        "grid_cells_per_sec": round(calls / grid_wall, 1),
+        "memoized_speedup": round(scalar_wall / memo_wall, 2),
+        "grid_speedup": round(scalar_wall / grid_wall, 2),
+        "identical": identical,
+        "provisioner_hosts": len(cluster.hosts),
+        "provisioner_actions": actions,
+        "provisioner_wall_s": round(provisioner_wall, 4),
+        "provisioner_actions_per_sec": round(actions / provisioner_wall, 1)
+        if provisioner_wall > 0
+        else None,
     }
 
 
 def bench_telemetry_overhead(
-    duration_min: float = 1.0, seed: int = 7, trials: int = 3
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
 ) -> dict:
     """Saturation scenario, telemetry disabled vs fully enabled.
 
@@ -187,6 +428,8 @@ def bench_telemetry_overhead(
     """
     from repro.telemetry import TelemetryConfig, TelemetrySink
 
+    if quick:
+        duration_min, trials = 0.5, 2
     graph = DependencyGraph("svc", call("B"))
     spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
 
@@ -230,7 +473,8 @@ def bench_telemetry_overhead(
 
 
 def bench_tail_sampling(
-    duration_min: float = 1.0, seed: int = 7, trials: int = 3
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
 ) -> dict:
     """Tail-based sampling versus full trace retention.
 
@@ -245,6 +489,8 @@ def bench_tail_sampling(
 
     from repro.telemetry import TelemetryConfig, TelemetrySink
 
+    if quick:
+        duration_min, trials = 0.5, 2
     graph = DependencyGraph("svc", call("B"))
     spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
 
@@ -306,7 +552,7 @@ def bench_tail_sampling(
     }
 
 
-def bench_analysis_throughput(seed: int = 7) -> dict:
+def bench_analysis_throughput(seed: int = 7, quick: bool = False) -> dict:
     """Post-run analysis speed: critical-path extraction + blame.
 
     Collects the saturation scenario's traces once, then times
@@ -325,7 +571,9 @@ def bench_analysis_throughput(seed: int = 7) -> dict:
         {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
         containers={"B": 1},
         rates={"svc": 45_000.0},
-        config=SimulationConfig(duration_min=1.0, warmup_min=0.25, seed=seed),
+        config=SimulationConfig(
+            duration_min=0.5 if quick else 1.0, warmup_min=0.25, seed=seed
+        ),
         telemetry=sink,
     ).run()
     traces = sink.traces
@@ -356,6 +604,7 @@ BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
     "trace_slice": bench_trace_slice,
+    "allocation_throughput": bench_allocation_throughput,
     "parallel_grid": bench_parallel_grid,
     "telemetry_overhead": bench_telemetry_overhead,
     "tail_sampling": bench_tail_sampling,
@@ -363,14 +612,16 @@ BENCHMARKS = {
 }
 
 
-def run_suite(only=None, output: pathlib.Path = None) -> dict:
+def run_suite(
+    only=None, output: pathlib.Path = None, quick: bool = False
+) -> dict:
     """Run the suite and write ``BENCH_des.json``; returns the report."""
-    report = {"schema": 1, "benchmarks": {}}
+    report = {"schema": 1, "mode": "quick" if quick else "full", "benchmarks": {}}
     for name, fn in BENCHMARKS.items():
         if only and name not in only:
             continue
         print(f"[perf] {name} ...", flush=True)
-        report["benchmarks"][name] = fn()
+        report["benchmarks"][name] = fn(quick=quick)
         print(f"[perf]   {report['benchmarks'][name]}", flush=True)
 
     if BASELINE_PATH.exists():
@@ -400,8 +651,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", type=pathlib.Path, help="output path (default BENCH_des.json)"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: shorter runs, smaller grids; rate metrics "
+        "stay comparable to full mode, wall-clock fields do not",
+    )
     args = parser.parse_args(argv)
-    run_suite(only=args.only, output=args.output)
+    run_suite(only=args.only, output=args.output, quick=args.quick)
     return 0
 
 

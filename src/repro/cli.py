@@ -77,6 +77,21 @@ def _app(name: str):
     return APPLICATIONS[name]()
 
 
+def _run_pool(workers: int):
+    """One persistent worker pool for a whole command (``None`` if serial).
+
+    Sweeps within the command then share workers and shipped context
+    instead of cold-starting a pool per map.
+    """
+    if workers == 1:
+        import contextlib
+
+        return contextlib.nullcontext(None)
+    from repro.experiments import WorkerPool
+
+    return WorkerPool(workers)
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     app = _app(args.app)
     scheme = _make_scheme(args.scheme)
@@ -166,20 +181,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     app = _app(args.app)
     schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm(), Firm()]
-    sweep = run_static_sweep(
-        app,
-        schemes,
-        workloads=args.workloads,
-        slas=args.slas,
-        interference_multiplier=args.interference,
-        simulate=args.simulate,
-        duration_min=args.duration,
-        warmup_min=min(0.5, args.duration / 3),
-        seed=args.seed,
-        workers=args.workers,
-        sampling_rate=args.sampling_rate,
-        tail_threshold_ms=args.tail_threshold,
-    )
+    with _run_pool(args.workers) as pool:
+        sweep = run_static_sweep(
+            app,
+            schemes,
+            workloads=args.workloads,
+            slas=args.slas,
+            interference_multiplier=args.interference,
+            simulate=args.simulate,
+            duration_min=args.duration,
+            warmup_min=min(0.5, args.duration / 3),
+            seed=args.seed,
+            workers=args.workers,
+            sampling_rate=args.sampling_rate,
+            tail_threshold_ms=args.tail_threshold,
+            pool=pool,
+        )
     rows = []
     for scheme in sweep.schemes():
         row = {"scheme": scheme, "avg_containers": sweep.average_containers(scheme)}
@@ -202,7 +219,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_trace_sim(args: argparse.Namespace) -> int:
     workload = generate_taobao(n_services=args.services, seed=args.seed)
     schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm()]
-    result = run_trace_simulation(workload, schemes, workers=args.workers)
+    with _run_pool(args.workers) as pool:
+        result = run_trace_simulation(
+            workload, schemes, workers=args.workers, pool=pool
+        )
     rows = [
         {
             "scheme": scheme,

@@ -31,16 +31,25 @@ from repro.core.model import (
 from repro.core.merge import (
     MergedNode,
     MergeKind,
+    MergeTreeCache,
     VirtualParams,
+    clear_merge_cache,
     distribute_targets,
+    distribute_targets_batch,
     merge_graph,
+    merge_tree_cache,
     parallel_merge,
     sequential_merge,
 )
 from repro.core.latency_targets import (
+    GridTargets,
     ServiceTargets,
+    clear_targets_memo,
     compute_service_targets,
+    compute_targets_grid,
     predicted_end_to_end,
+    set_targets_memo,
+    targets_memo_stats,
 )
 from repro.core.multiplexing import (
     MultiplexedAllocation,
@@ -62,6 +71,7 @@ from repro.core.scaling import (
 from repro.core.controller import ControllerReport, ErmsController
 from repro.core.provisioning import (
     Cluster,
+    ClusterIndex,
     Host,
     InterferenceAwareProvisioner,
     KubernetesDefaultProvisioner,
@@ -81,14 +91,23 @@ __all__ = [
     "containers_for_target",
     "MergedNode",
     "MergeKind",
+    "MergeTreeCache",
     "VirtualParams",
+    "clear_merge_cache",
     "distribute_targets",
+    "distribute_targets_batch",
     "merge_graph",
+    "merge_tree_cache",
     "parallel_merge",
     "sequential_merge",
+    "GridTargets",
     "ServiceTargets",
+    "clear_targets_memo",
     "compute_service_targets",
+    "compute_targets_grid",
     "predicted_end_to_end",
+    "set_targets_memo",
+    "targets_memo_stats",
     "MultiplexedAllocation",
     "SharedScenario",
     "assign_priorities",
@@ -105,6 +124,7 @@ __all__ = [
     "ControllerReport",
     "ErmsController",
     "Cluster",
+    "ClusterIndex",
     "Host",
     "InterferenceAwareProvisioner",
     "KubernetesDefaultProvisioner",

@@ -17,20 +17,25 @@ recomputed once.  Each graph is therefore processed at most twice.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.merge import (
     distribute_targets,
-    leaf_params_from_profiles,
-    merge_graph,
+    distribute_targets_batch,
+    merge_tree_cache,
 )
 from repro.core.model import (
     InfeasibleSLAError,
     LatencySegment,
     MicroserviceProfile,
+    PiecewiseLatencyModel,
     ServiceSpec,
     best_effort_containers,
+    best_effort_containers_array,
 )
 
 
@@ -61,6 +66,95 @@ class ServiceTargets:
     passes: int = 1
 
 
+# ----------------------------------------------------------------------
+# Cross-cell memo for the workload-independent part of the computation
+# ----------------------------------------------------------------------
+# Eq. 5 scales segment slopes only by the *override ratio*
+# (effective / own workload), never by the service workload itself: in
+# ``_allocate`` every call site is treated as handling the service
+# arrival rate.  Targets, chosen segments, the merged intercept and the
+# §5.3.1 pass count are therefore identical across grid cells that
+# differ only in workload (same graph, SLA and override ratios) — only
+# the container counts change.  The memo below caches exactly that
+# workload-independent tuple; container counts are always recomputed
+# from the cell's actual workloads, so memoized results are
+# bit-identical to fresh ones.
+_TARGETS_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_TARGETS_MEMO_MAX = 1024
+_MEMO_ENABLED = True
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
+
+
+def set_targets_memo(enabled: bool) -> None:
+    """Enable/disable the cross-cell targets memo (testing hook)."""
+    global _MEMO_ENABLED
+    _MEMO_ENABLED = enabled
+    if not enabled:
+        clear_targets_memo()
+
+
+def clear_targets_memo() -> None:
+    """Drop every memoized target computation."""
+    global _MEMO_HITS, _MEMO_MISSES
+    _TARGETS_MEMO.clear()
+    _MEMO_HITS = 0
+    _MEMO_MISSES = 0
+
+
+def targets_memo_stats() -> Dict[str, int]:
+    """Hit/miss counters of the targets memo (diagnostics)."""
+    return {
+        "hits": _MEMO_HITS,
+        "misses": _MEMO_MISSES,
+        "entries": len(_TARGETS_MEMO),
+    }
+
+
+def _override_ratio(own: float, effective: float) -> float:
+    """The slope scale factor ``_allocate`` applies for one microservice."""
+    if own > 0 and effective != own:
+        return effective / own
+    return 1.0
+
+
+def _targets_loop(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    effective: Mapping[str, float],
+    max_passes: int,
+) -> Tuple[Dict[str, float], Dict[str, LatencySegment], float, int]:
+    """The §5.3.1 pass loop; returns (targets, segments, intercept, passes)."""
+    graph = spec.graph
+
+    # Initial pass: high-load segment for everyone (§5.3.1).
+    segments: Dict[str, LatencySegment] = {
+        name: profiles[name].model.high for name in graph.microservices()
+    }
+
+    # The paper recomputes once after interval switching (two passes),
+    # which suffices for continuous fits.  Discontinuous fits may need a
+    # few more rounds; switching is one-way (high -> low), so the loop is
+    # monotone and terminates within the number of microservices.
+    scratch = ServiceTargets(service=spec.name)
+    passes = 1
+    for pass_index in range(max(max_passes, 1)):
+        targets = _allocate(spec, profiles, segments, effective, scratch)
+        used_segments = dict(segments)
+        passes = pass_index + 1
+        if pass_index == max_passes - 1:
+            break
+        switched = False
+        for name, target in targets.items():
+            model = profiles[name].model
+            if segments[name] is model.high and target < model.latency_at_cutoff():
+                segments[name] = model.low
+                switched = True
+        if not switched:
+            break
+    return targets, used_segments, scratch.merged_intercept, passes
+
+
 def compute_service_targets(
     spec: ServiceSpec,
     profiles: Mapping[str, MicroserviceProfile],
@@ -85,6 +179,13 @@ def compute_service_targets(
         InfeasibleSLAError: If the SLA is not larger than the merged graph's
             intercept (the latency floor no resource level can beat).
         KeyError: If a microservice in the graph has no profile.
+
+    The workload-independent part (targets/segments/passes — see the memo
+    note above) is cached across calls keyed by graph identity, SLA and
+    override ratios, so sweeping a workload axis or re-running the
+    autoscaler tick-by-tick pays for Eq. 5 once.  Graphs and profiles are
+    treated as immutable; call :func:`clear_targets_memo` after mutating
+    either in place.
     """
     graph = spec.graph
     own_workloads = spec.microservice_workloads()
@@ -94,34 +195,85 @@ def compute_service_targets(
             if name in effective:
                 effective[name] = value
 
-    # Initial pass: high-load segment for everyone (§5.3.1).
-    segments: Dict[str, LatencySegment] = {
-        name: profiles[name].model.high for name in graph.microservices()
-    }
+    names = graph.microservices()
+    key = None
+    if _MEMO_ENABLED:
+        key = (
+            id(graph),
+            spec.sla,
+            max_passes,
+            tuple((name, id(profiles[name])) for name in names),
+            tuple(
+                _override_ratio(own_workloads[name], effective[name])
+                for name in names
+            ),
+        )
+        entry = _TARGETS_MEMO.get(key)
+        if entry is not None:
+            global _MEMO_HITS
+            _MEMO_HITS += 1
+            _TARGETS_MEMO.move_to_end(key)
+            value = entry[0]
+            if value[0] == "infeasible":
+                raise InfeasibleSLAError(
+                    f"service {spec.name!r}: SLA {spec.sla:.3f}ms does not "
+                    f"exceed the graph latency floor {value[1]:.3f}ms"
+                )
+            targets, used_segments, intercept, passes = value[1:]
+            return _finish_targets(
+                spec, profiles, effective, targets, used_segments, intercept,
+                passes,
+            )
 
-    # The paper recomputes once after interval switching (two passes),
-    # which suffices for continuous fits.  Discontinuous fits may need a
-    # few more rounds; switching is one-way (high -> low), so the loop is
-    # monotone and terminates within the number of microservices.
+    if _MEMO_ENABLED:
+        global _MEMO_MISSES
+        _MEMO_MISSES += 1
+    try:
+        targets, used_segments, intercept, passes = _targets_loop(
+            spec, profiles, effective, max_passes
+        )
+    except InfeasibleSLAError as exc:
+        if key is not None:
+            floor = getattr(exc, "latency_floor", None)
+            if floor is not None:
+                _memo_store(key, ("infeasible", floor), graph, profiles, names)
+        raise
+    if key is not None:
+        _memo_store(
+            key,
+            ("ok", targets, used_segments, intercept, passes),
+            graph,
+            profiles,
+            names,
+        )
+    return _finish_targets(
+        spec, profiles, effective, targets, used_segments, intercept, passes
+    )
+
+
+def _memo_store(key, value, graph, profiles, names) -> None:
+    # Strong refs to graph + profiles keep the id()-based key valid.
+    _TARGETS_MEMO[key] = (value, graph, tuple(profiles[n] for n in names))
+    while len(_TARGETS_MEMO) > _TARGETS_MEMO_MAX:
+        _TARGETS_MEMO.popitem(last=False)
+
+
+def _finish_targets(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    effective: Mapping[str, float],
+    targets: Dict[str, float],
+    used_segments: Dict[str, LatencySegment],
+    intercept: float,
+    passes: int,
+) -> ServiceTargets:
+    """Assemble the per-cell result around the (possibly cached) targets."""
     result = ServiceTargets(service=spec.name)
-    for pass_index in range(max(max_passes, 1)):
-        targets = _allocate(spec, profiles, segments, effective, result)
-        used_segments = dict(segments)
-        result.passes = pass_index + 1
-        if pass_index == max_passes - 1:
-            break
-        switched = False
-        for name, target in targets.items():
-            model = profiles[name].model
-            if segments[name] is model.high and target < model.latency_at_cutoff():
-                segments[name] = model.low
-                switched = True
-        if not switched:
-            break
-
-    result.targets = targets
-    result.segments = used_segments
+    result.targets = dict(targets)
+    result.segments = dict(used_segments)
     result.workloads = dict(effective)
+    result.merged_intercept = intercept
+    result.passes = passes
     # Convert targets to containers with the segment consistent with each
     # *final* target.  After a §5.3.1 interval switch the recomputed target
     # can land back above the cut-off latency; blindly using the switched
@@ -160,14 +312,15 @@ def _allocate(
             slope=segment.slope * ratio, intercept=segment.intercept
         )
 
-    leaf_params = leaf_params_from_profiles(graph, profiles, scaled_segments)
-    merged = merge_graph(graph, leaf_params)
+    merged = merge_tree_cache().tree(graph, profiles, scaled_segments)
     result.merged_intercept = merged.params.intercept
     if spec.sla <= merged.params.intercept:
-        raise InfeasibleSLAError(
+        error = InfeasibleSLAError(
             f"service {spec.name!r}: SLA {spec.sla:.3f}ms does not exceed the "
             f"graph latency floor {merged.params.intercept:.3f}ms"
         )
+        error.latency_floor = merged.params.intercept
+        raise error
 
     call_targets = distribute_targets(merged, spec.sla)
 
@@ -178,6 +331,207 @@ def _allocate(
         if current is None or target < current:
             targets[node.microservice] = target
     return targets
+
+
+# ----------------------------------------------------------------------
+# Grid-batched targets (workload × SLA)
+# ----------------------------------------------------------------------
+@dataclass
+class GridTargets:
+    """Latency targets for a whole (workload × SLA) grid of one service.
+
+    Targets are computed once per SLA (they are workload-independent, see
+    the memo note above) and container counts once per (microservice,
+    SLA) as a vector over the workload axis.  :meth:`cell` materializes
+    any single grid cell as the :class:`ServiceTargets` that
+    :func:`compute_service_targets` would have produced — bit-identical.
+    """
+
+    service: str
+    workloads: List[float]
+    slas: List[float]
+    #: Per-SLA feasibility; infeasible columns raise from :meth:`cell`.
+    feasible: List[bool]
+    merged_intercepts: List[float]
+    passes: List[int]
+    targets: List[Optional[Dict[str, float]]]
+    segments: List[Optional[Dict[str, LatencySegment]]]
+    #: Per-SLA: microservice -> int64 array over the workload axis.
+    containers: List[Optional[Dict[str, np.ndarray]]]
+    _multipliers: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    def cell(self, workload_index: int, sla_index: int) -> ServiceTargets:
+        """The :class:`ServiceTargets` of one grid cell.
+
+        Raises:
+            InfeasibleSLAError: If this SLA column is below the graph's
+                latency floor (exactly as the scalar path would).
+        """
+        if not self.feasible[sla_index]:
+            raise InfeasibleSLAError(
+                f"service {self.service!r}: SLA {self.slas[sla_index]:.3f}ms "
+                f"does not exceed the graph latency floor "
+                f"{self.merged_intercepts[sla_index]:.3f}ms"
+            )
+        workload = self.workloads[workload_index]
+        result = ServiceTargets(service=self.service)
+        result.targets = dict(self.targets[sla_index])
+        result.segments = dict(self.segments[sla_index])
+        result.workloads = {
+            name: multiplier * workload
+            for name, multiplier in self._multipliers.items()
+        }
+        result.containers = {
+            name: int(counts[workload_index])
+            for name, counts in self.containers[sla_index].items()
+        }
+        result.merged_intercept = self.merged_intercepts[sla_index]
+        result.passes = self.passes[sla_index]
+        return result
+
+
+def compute_targets_grid(
+    spec: ServiceSpec,
+    profiles: Mapping[str, MicroserviceProfile],
+    workloads: Sequence[float],
+    slas: Sequence[float],
+    max_passes: int = 8,
+) -> GridTargets:
+    """Batch :func:`compute_service_targets` over a (workload × SLA) grid.
+
+    One Eq. 5 tree walk per *segment-assignment group* of SLA columns
+    (via :func:`repro.core.merge.distribute_targets_batch`) replaces one
+    walk per grid cell, and container counts vectorize over the workload
+    axis; yet every :meth:`GridTargets.cell` is bit-identical to the
+    scalar call for that cell.  §5.3.1 interval switching runs per SLA
+    column: columns that switch the same segments regroup and share the
+    next pass's merge tree.
+
+    Workload overrides are deliberately unsupported here — grids sweep a
+    service's own arrival rate, where every override ratio is 1.
+    """
+    graph = spec.graph
+    names = graph.microservices()
+    multipliers = graph.workload_multipliers()
+    workloads = [float(w) for w in workloads]
+    slas = [float(s) for s in slas]
+    sla_arr = np.asarray(slas, dtype=np.float64)
+    w_arr = np.asarray(workloads, dtype=np.float64)
+    n = len(slas)
+
+    cache = merge_tree_cache()
+    models: Dict[str, PiecewiseLatencyModel] = {
+        name: profiles[name].model for name in names
+    }
+
+    # Per-column state machine mirroring the scalar §5.3.1 loop.
+    seg_state: List[Dict[str, LatencySegment]] = [
+        {name: models[name].high for name in names} for _ in range(n)
+    ]
+    feasible = [True] * n
+    intercepts = [0.0] * n
+    passes = [0] * n
+    col_targets: List[Optional[Dict[str, float]]] = [None] * n
+    col_segments: List[Optional[Dict[str, LatencySegment]]] = [None] * n
+    active = list(range(n))
+
+    for pass_index in range(max(max_passes, 1)):
+        if not active:
+            break
+        # Group columns sharing a segment assignment: one merge tree and
+        # one batched Eq. 5 walk per group.
+        groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for column in active:
+            signature = tuple(
+                seg_state[column][name] is models[name].high for name in names
+            )
+            groups.setdefault(signature, []).append(column)
+
+        next_active: List[int] = []
+        for columns in groups.values():
+            segments = seg_state[columns[0]]
+            # Mirror _allocate's construction (ratio is 1.0 on a grid).
+            scaled = {
+                name: LatencySegment(
+                    slope=segments[name].slope * 1.0,
+                    intercept=segments[name].intercept,
+                )
+                for name in names
+            }
+            tree = cache.tree(graph, profiles, scaled)
+            intercept = tree.params.intercept
+            live: List[int] = []
+            for column in columns:
+                intercepts[column] = intercept
+                passes[column] = pass_index + 1
+                if slas[column] <= intercept:
+                    feasible[column] = False
+                else:
+                    live.append(column)
+            if not live:
+                continue
+
+            batch = distribute_targets_batch(tree, sla_arr[live])
+            # Fold call-site targets to per-microservice minima, one numpy
+            # reduce per microservice (min is order-independent & exact).
+            per_ms: Dict[str, np.ndarray] = {}
+            for node in graph.nodes():
+                values = batch[id(node)]
+                current = per_ms.get(node.microservice)
+                per_ms[node.microservice] = (
+                    values if current is None else np.minimum(current, values)
+                )
+
+            for j, column in enumerate(live):
+                targets = {name: float(per_ms[name][j]) for name in per_ms}
+                if pass_index == max_passes - 1:
+                    # Scalar loop breaks before the switching check.
+                    col_targets[column] = targets
+                    col_segments[column] = dict(seg_state[column])
+                    continue
+                switched = False
+                for name, target in targets.items():
+                    model = models[name]
+                    if (
+                        seg_state[column][name] is model.high
+                        and target < model.latency_at_cutoff()
+                    ):
+                        seg_state[column][name] = model.low
+                        switched = True
+                if switched:
+                    next_active.append(column)
+                else:
+                    col_targets[column] = targets
+                    col_segments[column] = dict(seg_state[column])
+        active = next_active
+
+    # Containers: one vectorized pass over the workload axis per
+    # (microservice, SLA).  Microservice workload = multiplier * arrival
+    # rate, exactly as ServiceSpec.microservice_workloads computes it.
+    containers: List[Optional[Dict[str, np.ndarray]]] = [None] * n
+    for column in range(n):
+        if not feasible[column]:
+            continue
+        targets = col_targets[column]
+        containers[column] = {
+            name: best_effort_containers_array(
+                models[name], multipliers[name] * w_arr, target
+            )
+            for name, target in targets.items()
+        }
+
+    return GridTargets(
+        service=spec.name,
+        workloads=workloads,
+        slas=slas,
+        feasible=feasible,
+        merged_intercepts=intercepts,
+        passes=passes,
+        targets=col_targets,
+        segments=col_segments,
+        containers=containers,
+        _multipliers=dict(multipliers),
+    )
 
 
 def predicted_end_to_end(

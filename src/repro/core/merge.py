@@ -34,9 +34,12 @@ as handling the service arrival rate.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.graphs import CallNode, DependencyGraph
 from repro.core.model import MicroserviceProfile
@@ -238,3 +241,141 @@ def distribute_targets(root: MergedNode, sla: float) -> Dict[int, float]:
 
     _assign(root, sla)
     return targets
+
+
+def distribute_targets_batch(
+    root: MergedNode, slas: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Vectorized :func:`distribute_targets` over a whole SLA axis.
+
+    One tree walk assigns every call site a *vector* of latency targets,
+    one entry per SLA.  Each elementwise operation mirrors the scalar
+    walk's operation order exactly (``share * (t − Σb) + b`` becomes the
+    same subtract/multiply/add on float64 arrays), so column ``j`` of the
+    result is bit-identical to ``distribute_targets(root, slas[j])`` —
+    the Eq. 5 split is *batched*, never approximated.
+
+    Args:
+        root: The merge-tree root (same tree for every SLA — callers
+            group SLAs by segment assignment first; see
+            :func:`repro.core.latency_targets.compute_targets_grid`).
+        slas: 1-D float array of end-to-end SLAs in ms.
+
+    Returns:
+        Mapping from ``id(call_node)`` to a float64 array of targets with
+        the same shape as ``slas``.
+    """
+    slas = np.ascontiguousarray(slas, dtype=np.float64)
+    targets: Dict[int, np.ndarray] = {}
+
+    def _assign(node: MergedNode, target: np.ndarray) -> None:
+        if node.kind is MergeKind.LEAF:
+            assert node.call is not None
+            targets[id(node.call)] = target
+            return
+        if node.kind is MergeKind.PARALLEL:
+            for child in node.children:
+                _assign(child, target)
+            return
+        budget = target - sum(child.params.intercept for child in node.children)
+        total_key = sum(child.params.key for child in node.children)
+        for child in node.children:
+            share = child.params.key / total_key
+            _assign(child, share * budget + child.params.intercept)
+
+    _assign(root, slas)
+    return targets
+
+
+# ----------------------------------------------------------------------
+# Merge-tree cache
+# ----------------------------------------------------------------------
+class MergeTreeCache:
+    """LRU cache of merge trees keyed by (graph, effective segment params).
+
+    Building a merge tree walks the whole graph and takes four square
+    roots per node; in grid sweeps and in the in-DES autoscaler loop the
+    same (graph, segment-assignment) pair recurs for every cell/tick, so
+    the tree — and the per-call-site leaf parameters — are cached.  The
+    key captures everything the tree depends on: the graph's identity,
+    each microservice's *effective* segment (slope already ratio-scaled,
+    intercept) and its resource demand.  Entries hold strong references
+    to the graph and profiles so ``id()`` keys cannot be recycled while
+    an entry lives.
+
+    Graphs are treated as immutable once used for scaling (they are
+    everywhere in this codebase); mutate a graph in place and you must
+    call :meth:`clear`.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def _key(
+        self,
+        graph: DependencyGraph,
+        profiles: Mapping[str, MicroserviceProfile],
+        scaled_segments: Mapping[str, "object"],
+    ) -> Tuple:
+        names = graph.microservices()
+        return (
+            id(graph),
+            tuple(
+                (
+                    name,
+                    scaled_segments[name].slope,
+                    scaled_segments[name].intercept,
+                    profiles[name].resource_demand,
+                )
+                for name in names
+            ),
+        )
+
+    def tree(
+        self,
+        graph: DependencyGraph,
+        profiles: Mapping[str, MicroserviceProfile],
+        scaled_segments: Mapping[str, "object"],
+    ) -> MergedNode:
+        """The merged root for this (graph, effective-parameters) pair."""
+        key = self._key(graph, profiles, scaled_segments)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[0]
+        self.misses += 1
+        leaf_params = leaf_params_from_profiles(graph, profiles, scaled_segments)
+        root = merge_graph(graph, leaf_params)
+        # Keep graph + profiles alive so the id()-based key stays valid.
+        self._entries[key] = (root, graph, tuple(profiles[n] for n in graph.microservices()))
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return root
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache used by the latency-target layer.
+_MERGE_CACHE = MergeTreeCache()
+
+
+def merge_tree_cache() -> MergeTreeCache:
+    """The process-wide merge-tree cache (inspect ``hits``/``misses``)."""
+    return _MERGE_CACHE
+
+
+def clear_merge_cache() -> None:
+    """Drop every cached merge tree (e.g. after mutating a graph)."""
+    _MERGE_CACHE.clear()

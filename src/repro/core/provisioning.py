@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.core.model import ContainerSpec, MicroserviceProfile
 
 
@@ -138,6 +140,104 @@ class Cluster:
         return total
 
 
+class ClusterIndex:
+    """Vectorized per-host usage state for fast placement decisions.
+
+    The previous hot path re-summed every host's container dict for every
+    candidate host of every single placement decision — O(hosts ×
+    containers) per container placed.  The index keeps per-host
+    ``cpu_used``/``memory_used`` (and k8s-style *requested*) totals in
+    numpy arrays, so a decision is one vectorized argmin over hosts, and
+    a placement/release updates only the mutated host's row.
+
+    Exactness: each row is refreshed by re-evaluating the *same*
+    ``Host.cpu_used``/``memory_used`` expressions the scalar provisioners
+    call — O(microservices-on-host), not an incremental ``+=`` — so every
+    array entry is bit-identical to the scalar re-summation and argmin
+    tie-breaking (numpy returns the first extremum, like ``min``/``max``)
+    reproduces the scalar host choice exactly.
+
+    The index is valid only while every mutation of the cluster is routed
+    through :meth:`place`/:meth:`release`; ``Provisioner.apply`` builds
+    one per call.  After out-of-band mutations call :meth:`rebuild`.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.rebuild()
+
+    @staticmethod
+    def _requested(host: Host, sizes: Mapping[str, ContainerSpec]):
+        # Exactly the kube-scheduler scoring sums (requests, no background).
+        cpu = sum(
+            sizes[name].cpu * count for name, count in host.containers.items()
+        )
+        mem = sum(
+            sizes[name].memory_mb * count
+            for name, count in host.containers.items()
+        )
+        return cpu, mem
+
+    def rebuild(self) -> None:
+        """Recompute every row from the cluster's current state."""
+        hosts = self.cluster.hosts
+        sizes = self.cluster.sizes
+        n = len(hosts)
+        self._pos = {id(host): i for i, host in enumerate(hosts)}
+        self.cpu_capacity = np.array([h.cpu_capacity for h in hosts], dtype=float)
+        self.memory_capacity = np.array(
+            [h.memory_capacity_mb for h in hosts], dtype=float
+        )
+        self.cpu_used = np.array([h.cpu_used(sizes) for h in hosts], dtype=float)
+        self.memory_used = np.array(
+            [h.memory_used(sizes) for h in hosts], dtype=float
+        )
+        requested = [self._requested(h, sizes) for h in hosts]
+        self.cpu_requested = np.array([r[0] for r in requested], dtype=float)
+        self.memory_requested = np.array([r[1] for r in requested], dtype=float)
+        self._counts: Dict[str, np.ndarray] = {}
+        for i, host in enumerate(hosts):
+            for name, count in host.containers.items():
+                self.counts(name)[i] = count
+
+    def counts(self, microservice: str) -> np.ndarray:
+        """Per-host container counts of one microservice (int64 array)."""
+        array = self._counts.get(microservice)
+        if array is None:
+            array = np.zeros(len(self.cluster.hosts), dtype=np.int64)
+            self._counts[microservice] = array
+        return array
+
+    def utilization(self) -> np.ndarray:
+        """Per-host ``cpu_util + mem_util`` (the §5.4 balancing signal)."""
+        return (
+            self.cpu_used / self.cpu_capacity
+            + self.memory_used / self.memory_capacity
+        )
+
+    def refresh_host(self, host: Host) -> None:
+        """Re-derive one host's row from its container dict (exact)."""
+        i = self._pos[id(host)]
+        sizes = self.cluster.sizes
+        self.cpu_used[i] = host.cpu_used(sizes)
+        self.memory_used[i] = host.memory_used(sizes)
+        cpu_requested, memory_requested = self._requested(host, sizes)
+        self.cpu_requested[i] = cpu_requested
+        self.memory_requested[i] = memory_requested
+
+    def place(self, host: Host, microservice: str, count: int = 1) -> None:
+        """Place containers on ``host`` and update its row in place."""
+        host.place(microservice, count)
+        self.counts(microservice)[self._pos[id(host)]] += count
+        self.refresh_host(host)
+
+    def release(self, host: Host, microservice: str, count: int = 1) -> None:
+        """Release containers from ``host`` and update its row in place."""
+        host.release(microservice, count)
+        self.counts(microservice)[self._pos[id(host)]] -= count
+        self.refresh_host(host)
+
+
 @dataclass
 class PlacementAction:
     """One placement or release decision."""
@@ -166,28 +266,45 @@ class Provisioner:
     name = "provisioner"
 
     def apply(self, cluster: Cluster, desired: Mapping[str, int]) -> PlacementPlan:
-        """Mutate ``cluster`` so each microservice reaches its desired count."""
+        """Mutate ``cluster`` so each microservice reaches its desired count.
+
+        Builds one :class:`ClusterIndex` and routes every placement and
+        release through it, so each decision costs a vectorized argmin
+        plus a single-host refresh instead of re-summing every host.
+        """
         plan = PlacementPlan()
         current = cluster.placement()
         names = sorted(set(desired) | set(current))
         for name in names:
-            delta = desired.get(name, 0) - current.get(name, 0)
             if name not in cluster.sizes:
                 cluster.sizes[name] = ContainerSpec()
+        index = ClusterIndex(cluster)
+        for name in names:
+            delta = desired.get(name, 0) - current.get(name, 0)
             for _ in range(delta):
-                host = self.choose_placement_host(cluster, name)
-                host.place(name)
+                host = self.choose_placement_host(cluster, name, index=index)
+                index.place(host, name)
                 plan.actions.append(PlacementAction(host.host_id, name, +1))
             for _ in range(-delta):
-                host = self.choose_release_host(cluster, name)
-                host.release(name)
+                host = self.choose_release_host(cluster, name, index=index)
+                index.release(host, name)
                 plan.actions.append(PlacementAction(host.host_id, name, -1))
         return plan
 
-    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
+    def choose_placement_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
         raise NotImplementedError
 
-    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
+    def choose_release_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
         raise NotImplementedError
 
 
@@ -208,44 +325,65 @@ class InterferenceAwareProvisioner(Provisioner):
             raise ValueError(f"groups must be >= 1, got {groups}")
         self.groups = groups
 
+    def _partition_size(self, host_count: int) -> int:
+        return max(1, (host_count + self.groups - 1) // self.groups)
+
     def _partitions(self, cluster: Cluster) -> List[List[Host]]:
         hosts = cluster.hosts
-        size = max(1, (len(hosts) + self.groups - 1) // self.groups)
+        size = self._partition_size(len(hosts))
         return [hosts[i : i + size] for i in range(0, len(hosts), size)]
 
-    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
+    def choose_placement_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
+        if index is None:
+            index = ClusterIndex(cluster)
+        if not cluster.hosts:
+            raise ValueError("cannot place on a cluster with no hosts")
         spec = cluster.sizes[microservice]
-        partitions = self._partitions(cluster)
-        group = min(
-            partitions,
-            key=lambda part: min(
-                h.cpu_utilization(cluster.sizes) + h.memory_utilization(cluster.sizes)
-                for h in part
-            ),
-        )
-        return min(group, key=lambda h: self._score_after_place(cluster, h, spec))
-
-    def _score_after_place(
-        self, cluster: Cluster, host: Host, spec: ContainerSpec
-    ) -> float:
-        cpu = (host.cpu_used(cluster.sizes) + spec.cpu) / host.cpu_capacity
-        mem = (
-            host.memory_used(cluster.sizes) + spec.memory_mb
-        ) / host.memory_capacity_mb
-        return cpu + mem
-
-    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
-        candidates = [
-            h for h in cluster.hosts if h.container_count(microservice) > 0
+        utilization = index.utilization()
+        count = len(cluster.hosts)
+        size = self._partition_size(count)
+        # First partition attaining the lowest per-host utilization
+        # minimum (min() keeps the first minimal element; so do we).
+        best_start = 0
+        best_value = None
+        for start in range(0, count, size):
+            value = utilization[start : start + size].min()
+            if best_value is None or value < best_value:
+                best_value = value
+                best_start = start
+        stop = min(best_start + size, count)
+        score = (index.cpu_used[best_start:stop] + spec.cpu) / index.cpu_capacity[
+            best_start:stop
+        ] + (
+            index.memory_used[best_start:stop] + spec.memory_mb
+        ) / index.memory_capacity[
+            best_start:stop
         ]
-        if not candidates:
+        # np.argmin returns the first minimum, matching min()'s tie-break.
+        return cluster.hosts[best_start + int(np.argmin(score))]
+
+    def choose_release_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
+        if index is None:
+            index = ClusterIndex(cluster)
+        candidates = np.flatnonzero(index.counts(microservice) > 0)
+        if candidates.size == 0:
             raise ValueError(f"no host has containers of {microservice!r}")
-        # Releasing from the most utilized host best reduces imbalance.
-        return max(
-            candidates,
-            key=lambda h: h.cpu_utilization(cluster.sizes)
-            + h.memory_utilization(cluster.sizes),
-        )
+        # Releasing from the most utilized host best reduces imbalance
+        # (np.argmax keeps the first maximum, matching max()).
+        utilization = index.utilization()
+        return cluster.hosts[
+            int(candidates[np.argmax(utilization[candidates])])
+        ]
 
 
 class KubernetesDefaultProvisioner(Provisioner):
@@ -258,24 +396,32 @@ class KubernetesDefaultProvisioner(Provisioner):
 
     name = "k8s-default"
 
-    def choose_placement_host(self, cluster: Cluster, microservice: str) -> Host:
-        def requested(host: Host) -> float:
-            cpu = sum(
-                cluster.sizes[name].cpu * count
-                for name, count in host.containers.items()
-            )
-            mem = sum(
-                cluster.sizes[name].memory_mb * count
-                for name, count in host.containers.items()
-            )
-            return cpu / host.cpu_capacity + mem / host.memory_capacity_mb
+    def choose_placement_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
+        if index is None:
+            index = ClusterIndex(cluster)
+        if not cluster.hosts:
+            raise ValueError("cannot place on a cluster with no hosts")
+        score = (
+            index.cpu_requested / index.cpu_capacity
+            + index.memory_requested / index.memory_capacity
+        )
+        return cluster.hosts[int(np.argmin(score))]
 
-        return min(cluster.hosts, key=requested)
-
-    def choose_release_host(self, cluster: Cluster, microservice: str) -> Host:
-        candidates = [
-            h for h in cluster.hosts if h.container_count(microservice) > 0
-        ]
-        if not candidates:
+    def choose_release_host(
+        self,
+        cluster: Cluster,
+        microservice: str,
+        index: Optional[ClusterIndex] = None,
+    ) -> Host:
+        if index is None:
+            index = ClusterIndex(cluster)
+        counts = index.counts(microservice)
+        candidates = np.flatnonzero(counts > 0)
+        if candidates.size == 0:
             raise ValueError(f"no host has containers of {microservice!r}")
-        return max(candidates, key=lambda h: h.container_count(microservice))
+        return cluster.hosts[int(candidates[np.argmax(counts[candidates])])]

@@ -12,7 +12,12 @@ from repro.experiments.harness import (
     fit_profiles_from_simulation,
     simulate_profiling_sweep,
 )
-from repro.experiments.parallel import default_workers, run_cells
+from repro.experiments.parallel import (
+    WorkerPool,
+    default_workers,
+    get_context,
+    run_cells,
+)
 from repro.experiments.reporting import format_table, render_run_report
 from repro.experiments.plots import bar_chart, cdf_table, sparkline
 from repro.experiments.static import StaticSweepResult, run_static_sweep
@@ -24,7 +29,9 @@ from repro.experiments.interference import (
 from repro.experiments.trace_sim import TraceSimResult, run_trace_simulation
 
 __all__ = [
+    "WorkerPool",
     "default_workers",
+    "get_context",
     "evaluate_allocation",
     "fit_profiles_from_simulation",
     "run_cells",

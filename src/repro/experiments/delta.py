@@ -13,10 +13,10 @@ the sweep fans out through :func:`repro.experiments.parallel.run_cells`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.model import ServiceSpec
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.graphs import DependencyGraph, call
 from repro.simulator.simulation import (
     ClusterSimulator,
@@ -28,20 +28,26 @@ __all__ = ["run_delta_sweep"]
 
 
 def _delta_cell(cell: Dict) -> Dict:
-    """Simulate one δ value (top-level so it pickles into pool workers)."""
+    """Simulate one δ value (top-level so it pickles into pool workers).
+
+    The scenario (specs, microservice, rates, priorities, settings) is
+    constant across the sweep and lives in the shared context; the payload
+    is just the δ under test.
+    """
+    context = get_context()
     result = ClusterSimulator(
-        cell["specs"],
-        cell["simulated"],
-        containers=cell["containers"],
-        rates=cell["rates"],
+        context["specs"],
+        context["simulated"],
+        containers=context["containers"],
+        rates=context["rates"],
         config=SimulationConfig(
-            duration_min=cell["duration_min"],
-            warmup_min=cell["warmup_min"],
-            seed=cell["seed"],
+            duration_min=context["duration_min"],
+            warmup_min=context["warmup_min"],
+            seed=context["seed"],
             scheduling="priority",
             delta=cell["delta"],
         ),
-        priorities=cell["priorities"],
+        priorities=context["priorities"],
     ).run()
     return {
         "delta": cell["delta"],
@@ -61,6 +67,7 @@ def run_delta_sweep(
     warmup_min: float = 0.3,
     seed: int = 1,
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Dict]:
     """Sweep δ at a shared microservice under priority scheduling.
 
@@ -79,18 +86,15 @@ def run_delta_sweep(
         ServiceSpec("hot", DependencyGraph("hot", call(name)), 0.0, hot_sla),
         ServiceSpec("cold", DependencyGraph("cold", call(name)), 0.0, cold_sla),
     ]
-    cells = [
-        {
-            "delta": float(delta),
-            "specs": specs,
-            "simulated": {name: shared},
-            "containers": {name: 1},
-            "rates": {"hot": hot_rate, "cold": cold_rate},
-            "priorities": {name: {"hot": 0, "cold": 1}},
-            "duration_min": duration_min,
-            "warmup_min": warmup_min,
-            "seed": seed,
-        }
-        for delta in deltas
-    ]
-    return run_cells(_delta_cell, cells, workers)
+    context = {
+        "specs": specs,
+        "simulated": {name: shared},
+        "containers": {name: 1},
+        "rates": {"hot": hot_rate, "cold": cold_rate},
+        "priorities": {name: {"hot": 0, "cold": 1}},
+        "duration_min": duration_min,
+        "warmup_min": warmup_min,
+        "seed": seed,
+    }
+    cells = [{"delta": float(delta)} for delta in deltas]
+    return run_cells(_delta_cell, cells, workers, context=context, pool=pool)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.model import InfeasibleSLAError, MicroserviceProfile
 from repro.core.scaling import Autoscaler
 from repro.experiments.harness import evaluate_allocation
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.workloads.deathstarbench import Application
 from repro.workloads.prediction import WorkloadPredictor
 
@@ -47,6 +48,49 @@ class DynamicResult:
         return float(np.corrcoef(self.rates, self.containers[scheme])[0, 1])
 
 
+def _dynamic_cell(cell: Dict) -> Dict:
+    """Replay one (window, scheme) allocation (top-level so it pickles).
+
+    The application, SLA and simulation settings are constant across the
+    whole run and live in the shared context; the payload carries only
+    the window's actual rate, the scheme's allocation and the seed.
+    """
+    context = get_context()
+    app = context["app"]
+    sla = context["sla"]
+    sim_duration_min = context["sim_duration_min"]
+    interference_multiplier = context["interference_multiplier"]
+    actual_specs = app.with_workloads(
+        {s.name: cell["actual"] for s in app.services}, sla=sla
+    )
+    allocation = cell["allocation"]
+    multipliers = None
+    if interference_multiplier != 1.0:
+        multipliers = {
+            name: [interference_multiplier] * count
+            for name, count in allocation.containers.items()
+        }
+    sim = evaluate_allocation(
+        actual_specs,
+        app.simulated,
+        allocation,
+        duration_min=sim_duration_min,
+        warmup_min=min(0.3, sim_duration_min / 3),
+        seed=cell["seed"],
+        container_multipliers=multipliers,
+    )
+    p95s, violations = [], []
+    for spec in actual_specs:
+        if sim.completed.get(spec.name, 0) == 0:
+            continue
+        p95s.append(sim.tail_latency(spec.name))
+        violations.append(sim.sla_violation_rate(spec.name, sla))
+    return {
+        "p95": float(np.mean(p95s)) if p95s else float("nan"),
+        "violation": float(np.mean(violations)) if violations else 0.0,
+    }
+
+
 def run_dynamic_workload(
     app: Application,
     schemes: Sequence[Autoscaler],
@@ -61,6 +105,8 @@ def run_dynamic_workload(
     interference_multiplier: float = 1.0,
     historic_multiplier: Optional[float] = None,
     predictor: Optional["WorkloadPredictor"] = None,
+    workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> DynamicResult:
     """Windowed scale-and-replay over a dynamic rate.
 
@@ -76,6 +122,11 @@ def run_dynamic_workload(
     given, schemes plan for its forecast of the *current* rate from the
     lagged observations (proactive scaling) instead of the raw lagged
     observation (reactive scaling).
+
+    Allocations run serially in window order — schemes and the predictor
+    are stateful — then every (window, scheme) replay fans out as one
+    independent cell over ``workers`` processes (or the given ``pool``);
+    results are identical to ``workers=1``.
     """
     if profiles is None:
         profiles = app.analytic_profiles(interference_multiplier)
@@ -92,6 +143,13 @@ def run_dynamic_workload(
         result.p95[scheme.name] = []
         result.violations[scheme.name] = []
 
+    # Pass 1 (serial): observe, predict, allocate — in window order, since
+    # schemes and the predictor carry state between windows.  Each
+    # feasible (window, scheme) allocation becomes one pending replay;
+    # infeasible windows record their sentinel row (0 containers, NaN
+    # P95, violation 1.0) immediately.
+    pending: List[Dict] = []  # payloads for _dynamic_cell
+    slots: List[tuple] = []  # (scheme name, index into that scheme's rows)
     minute = 0.0
     while minute < total_min:
         actual = float(rate(minute))
@@ -117,39 +175,35 @@ def run_dynamic_workload(
                 result.p95[scheme.name].append(float("nan"))
                 result.violations[scheme.name].append(1.0)
                 continue
-            actual_specs = app.with_workloads(
-                {s.name: actual for s in app.services}, sla=sla
-            )
-            multipliers = None
-            if interference_multiplier != 1.0:
-                multipliers = {
-                    name: [interference_multiplier] * count
-                    for name, count in allocation.containers.items()
-                }
-            sim = evaluate_allocation(
-                actual_specs,
-                app.simulated,
-                allocation,
-                duration_min=sim_duration_min,
-                warmup_min=min(0.3, sim_duration_min / 3),
-                seed=seed + int(minute),
-                container_multipliers=multipliers,
-            )
-            specs_for_eval = actual_specs
-            p95s, violations = [], []
-            for spec in specs_for_eval:
-                if sim.completed.get(spec.name, 0) == 0:
-                    continue
-                p95s.append(sim.tail_latency(spec.name))
-                violations.append(sim.sla_violation_rate(spec.name, sla))
             result.containers[scheme.name].append(
                 allocation.total_containers()
             )
-            result.p95[scheme.name].append(
-                float(np.mean(p95s)) if p95s else float("nan")
+            result.p95[scheme.name].append(float("nan"))
+            result.violations[scheme.name].append(0.0)
+            slots.append(
+                (scheme.name, len(result.p95[scheme.name]) - 1)
             )
-            result.violations[scheme.name].append(
-                float(np.mean(violations)) if violations else 0.0
+            pending.append(
+                {
+                    "actual": actual,
+                    "allocation": allocation,
+                    "seed": seed + int(minute),
+                }
             )
         minute += window_min
+
+    # Pass 2 (parallel-safe): the independent window replays.
+    if pending:
+        context = {
+            "app": app,
+            "sla": sla,
+            "sim_duration_min": sim_duration_min,
+            "interference_multiplier": interference_multiplier,
+        }
+        measured = run_cells(
+            _dynamic_cell, pending, workers, context=context, pool=pool
+        )
+        for (scheme_name, index), row in zip(slots, measured):
+            result.p95[scheme_name][index] = row["p95"]
+            result.violations[scheme_name][index] = row["violation"]
     return result

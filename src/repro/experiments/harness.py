@@ -14,7 +14,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.model import Allocation, MicroserviceProfile, ServiceSpec
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.graphs import DependencyGraph, call
 from repro.profiling.piecewise import fit_piecewise
 from repro.simulator.simulation import (
@@ -72,10 +72,13 @@ def evaluate_allocation(
 def _probe_cell(cell: Dict) -> float:
     """Drive one container at one load level; returns the tail latency.
 
-    Top-level so it pickles into pool workers; the payload carries the
-    cell's own seed, making the result identical in-process or not.
+    Top-level so it pickles into pool workers.  The probed microservice
+    and the sweep settings are shared context (shipped once per worker);
+    the payload carries only the load level and the cell's own seed,
+    making the result identical in-process or not.
     """
-    microservice: SimulatedMicroservice = cell["microservice"]
+    context = get_context()
+    microservice: SimulatedMicroservice = context["microservice"]
     graph = DependencyGraph("probe", call(microservice.name))
     spec = ServiceSpec("probe", graph, workload=0.0, sla=1.0e9)
     simulator = ClusterSimulator(
@@ -84,16 +87,16 @@ def _probe_cell(cell: Dict) -> float:
         containers={microservice.name: 1},
         rates={"probe": float(cell["load"])},
         config=SimulationConfig(
-            duration_min=cell["duration_min"],
-            warmup_min=cell["warmup_min"],
+            duration_min=context["duration_min"],
+            warmup_min=context["warmup_min"],
             seed=cell["seed"],
         ),
         container_multipliers={
-            microservice.name: [cell["interference_multiplier"]]
+            microservice.name: [context["interference_multiplier"]]
         },
     )
     result = simulator.run()
-    return result.tail_latency("probe", cell["percentile"])
+    return result.tail_latency("probe", context["percentile"])
 
 
 def simulate_profiling_sweep(
@@ -105,6 +108,7 @@ def simulate_profiling_sweep(
     seed: int = 0,
     percentile: float = 95.0,
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Measure one microservice's P95 latency across per-container loads.
 
@@ -117,19 +121,18 @@ def simulate_profiling_sweep(
     Returns:
         (loads, p95_latencies) arrays.
     """
+    context = {
+        "microservice": microservice,
+        "interference_multiplier": interference_multiplier,
+        "duration_min": duration_min,
+        "warmup_min": warmup_min,
+        "percentile": percentile,
+    }
     cells = [
-        {
-            "microservice": microservice,
-            "load": load,
-            "interference_multiplier": interference_multiplier,
-            "duration_min": duration_min,
-            "warmup_min": warmup_min,
-            "seed": seed + index,
-            "percentile": percentile,
-        }
+        {"load": load, "seed": seed + index}
         for index, load in enumerate(loads)
     ]
-    latencies = run_cells(_probe_cell, cells, workers)
+    latencies = run_cells(_probe_cell, cells, workers, context=context, pool=pool)
     return np.asarray(loads, dtype=float), np.asarray(latencies)
 
 
@@ -143,6 +146,7 @@ def fit_profiles_from_simulation(
     warmup_min: Optional[float] = None,
     seed: int = 0,
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, MicroserviceProfile]:
     """Profile every microservice by sweeping the simulator (§5.2).
 
@@ -175,6 +179,7 @@ def fit_profiles_from_simulation(
             warmup_min=warmup_min,
             seed=seed,
             workers=workers,
+            pool=pool,
         )
         fit = fit_piecewise(xs, ys)
         demand = 1.0

@@ -26,7 +26,7 @@ from repro.core.provisioning import (
 )
 from repro.core.scaling import Autoscaler
 from repro.experiments.harness import evaluate_allocation
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.simulator.interference import InterferenceModel
 from repro.workloads.deathstarbench import Application
 
@@ -74,21 +74,25 @@ def _provisioner_search(cell: Dict) -> Dict:
 
     Rounds within one provisioner are inherently sequential (each round's
     counts depend on the previous verdict), but provisioners never share
-    state, so each search is one parallel cell.
+    state, so each search is one parallel cell.  Everything the searches
+    have in common (specs, profiles, the base allocation, the cluster
+    shape) travels once in the shared context; the payload is just the
+    provisioner under test.
     """
+    context = get_context()
     provisioner: Provisioner = cell["provisioner"]
-    specs = cell["specs"]
-    profiles = cell["profiles"]
-    base_allocation: Allocation = cell["base_allocation"]
-    interference: InterferenceModel = cell["interference"]
-    duration_min = cell["duration_min"]
+    specs = context["specs"]
+    profiles = context["profiles"]
+    base_allocation: Allocation = context["base_allocation"]
+    interference: InterferenceModel = context["interference"]
+    duration_min = context["duration_min"]
 
     counts = dict(base_allocation.containers)
     p95_equal = float("nan")
     imbalance = float("nan")
-    for round_index in range(cell["max_growth_rounds"]):
+    for round_index in range(context["max_growth_rounds"]):
         cluster = _place(
-            provisioner, cell["hosts"], cell["background"], counts, profiles
+            provisioner, context["hosts"], context["background"], counts, profiles
         )
         multipliers = multipliers_from_placement(cluster, interference)
         allocation = Allocation(
@@ -97,11 +101,11 @@ def _provisioner_search(cell: Dict) -> Dict:
         )
         sim = evaluate_allocation(
             specs,
-            cell["simulated"],
+            context["simulated"],
             allocation,
             duration_min=duration_min,
             warmup_min=min(0.3, duration_min / 3),
-            seed=cell["seed"] + round_index,
+            seed=context["seed"] + round_index,
             container_multipliers=multipliers,
         )
         violations, p95s = [], []
@@ -117,10 +121,10 @@ def _provisioner_search(cell: Dict) -> Dict:
             # Equal-container comparison (Fig. 15b) uses the first round.
             p95_equal = final_p95
             imbalance = cluster.imbalance()
-        if violation <= cell["violation_threshold"]:
+        if violation <= context["violation_threshold"]:
             break
         counts = {
-            name: max(count + 1, math.ceil(count * cell["growth_factor"]))
+            name: max(count + 1, math.ceil(count * context["growth_factor"]))
             for name, count in counts.items()
         }
     return {
@@ -147,6 +151,7 @@ def run_interference_comparison(
     seed: int = 0,
     profiles: Optional[Mapping[str, MicroserviceProfile]] = None,
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> InterferenceResult:
     """Find the containers each provisioner needs to satisfy the SLA.
 
@@ -166,26 +171,25 @@ def run_interference_comparison(
     )
     base_allocation = scaler.scale(specs, profiles)
 
-    cells = [
-        {
-            "provisioner": provisioner,
-            "specs": specs,
-            "profiles": profiles,
-            "simulated": app.simulated,
-            "base_allocation": base_allocation,
-            "interference": interference,
-            "hosts": hosts,
-            "background": background,
-            "max_growth_rounds": max_growth_rounds,
-            "growth_factor": growth_factor,
-            "violation_threshold": violation_threshold,
-            "duration_min": duration_min,
-            "seed": seed,
-        }
-        for provisioner in provisioners
-    ]
+    context = {
+        "specs": specs,
+        "profiles": profiles,
+        "simulated": app.simulated,
+        "base_allocation": base_allocation,
+        "interference": interference,
+        "hosts": hosts,
+        "background": background,
+        "max_growth_rounds": max_growth_rounds,
+        "growth_factor": growth_factor,
+        "violation_threshold": violation_threshold,
+        "duration_min": duration_min,
+        "seed": seed,
+    }
+    cells = [{"provisioner": provisioner} for provisioner in provisioners]
     result = InterferenceResult()
-    for row in run_cells(_provisioner_search, cells, workers):
+    for row in run_cells(
+        _provisioner_search, cells, workers, context=context, pool=pool
+    ):
         name = row["provisioner"]
         result.containers_needed[name] = row["containers"]
         result.p95_equal_containers[name] = row["p95_equal"]

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.model import InfeasibleSLAError, MicroserviceProfile
 from repro.core.scaling import Autoscaler
 from repro.experiments.harness import evaluate_allocation
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.workloads.deathstarbench import Application
 
 
@@ -73,14 +73,30 @@ class StaticSweepResult:
 def _simulate_static_cell(cell: Dict) -> Dict:
     """Replay one grid cell's allocation (top-level so it pickles).
 
-    The payload carries everything the cell needs — specs, ground truth,
-    allocation, multipliers, and the seed — so the result is a pure
-    function of the cell and identical whether it runs in-process or in a
-    worker process.
+    The sweep-wide constants — the application, simulation settings,
+    sampling configuration — live in the shared context shipped to each
+    worker once (:func:`get_context`); the payload carries only what
+    varies per cell: the grid coordinates, the seed, and the scheme's
+    allocation.  Specs are rebuilt in-worker from the coordinates, so the
+    result remains a pure function of (context, payload) and identical
+    whether it runs in-process or in a worker process.
     """
+    context = get_context()
+    app = context["app"]
+    specs = app.with_workloads(
+        {s.name: cell["workload"] for s in app.services}, sla=cell["sla"]
+    )
+    allocation = cell["allocation"]
+    interference_multiplier = context["interference_multiplier"]
+    multipliers = None
+    if interference_multiplier != 1.0:
+        multipliers = {
+            name: [interference_multiplier] * count
+            for name, count in allocation.containers.items()
+        }
     sink = None
-    sampling_rate = cell.get("sampling_rate", 1.0)
-    tail_threshold_ms = cell.get("tail_threshold_ms")
+    sampling_rate = context.get("sampling_rate", 1.0)
+    tail_threshold_ms = context.get("tail_threshold_ms")
     if sampling_rate < 1.0 or tail_threshold_ms is not None:
         from repro.telemetry import TelemetryConfig, TelemetrySink
 
@@ -96,18 +112,18 @@ def _simulate_static_cell(cell: Dict) -> Dict:
             )
         )
     sim = evaluate_allocation(
-        cell["specs"],
-        cell["simulated"],
-        cell["allocation"],
-        duration_min=cell["duration_min"],
-        warmup_min=cell["warmup_min"],
+        specs,
+        app.simulated,
+        allocation,
+        duration_min=context["duration_min"],
+        warmup_min=context["warmup_min"],
         seed=cell["seed"],
-        container_multipliers=cell["multipliers"],
+        container_multipliers=multipliers,
         telemetry=sink,
     )
     violations = []
     p95s = []
-    for spec in cell["specs"]:
+    for spec in specs:
         if sim.completed.get(spec.name, 0) == 0:
             continue
         violations.append(sim.sla_violation_rate(spec.name, spec.sla))
@@ -142,6 +158,7 @@ def run_static_sweep(
     workers: int = 1,
     sampling_rate: float = 1.0,
     tail_threshold_ms: Optional[float] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> StaticSweepResult:
     """Run the full (workload × SLA × scheme) grid.
 
@@ -173,6 +190,9 @@ def run_static_sweep(
             ``traces_sampled`` / ``traces_kept`` / ``tail_dropped``.
         tail_threshold_ms: Tail-based sampling threshold for the replays
             (see :class:`~repro.telemetry.TelemetryConfig`).
+        pool: Persistent :class:`WorkerPool` to reuse across sweeps; the
+            sweep's shared context is installed on it (re-forking only if
+            it changed) and ``workers`` is ignored.
 
     Returns:
         A :class:`StaticSweepResult`; infeasible (SLA below latency floor)
@@ -215,34 +235,34 @@ def run_static_sweep(
                 }
                 result.rows.append(row)
                 if simulate:
-                    multipliers = None
-                    if interference_multiplier != 1.0:
-                        multipliers = {
-                            name: [interference_multiplier] * count
-                            for name, count in allocation.containers.items()
-                        }
                     cells.append(
                         {
                             "row": row,
-                            "specs": specs,
-                            "simulated": app.simulated,
-                            "allocation": allocation,
-                            "duration_min": duration_min,
-                            "warmup_min": warmup_min,
+                            "workload": workload,
+                            "sla": sla,
                             "seed": seed,
-                            "multipliers": multipliers,
-                            "sampling_rate": sampling_rate,
-                            "tail_threshold_ms": tail_threshold_ms,
+                            "allocation": allocation,
                         }
                     )
 
     # Pass 2 (parallel-safe): independent simulation replays, one per
-    # cell, each fully determined by its payload + seed.
+    # cell, each fully determined by the shared context + its payload.
     if cells:
+        context = {
+            "app": app,
+            "duration_min": duration_min,
+            "warmup_min": warmup_min,
+            "interference_multiplier": interference_multiplier,
+            "sampling_rate": sampling_rate,
+            "tail_threshold_ms": tail_threshold_ms,
+        }
         payloads = [
             {key: value for key, value in cell.items() if key != "row"}
             for cell in cells
         ]
-        for cell, measured in zip(cells, run_cells(_simulate_static_cell, payloads, workers)):
+        measured_rows = run_cells(
+            _simulate_static_cell, payloads, workers, context=context, pool=pool
+        )
+        for cell, measured in zip(cells, measured_rows):
             cell["row"].update(measured)
     return result

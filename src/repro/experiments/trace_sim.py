@@ -15,13 +15,13 @@ allocation".  Measured outputs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.model import InfeasibleSLAError
 from repro.core.scaling import Autoscaler
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import WorkerPool, get_context, run_cells
 from repro.workloads.alibaba import TaobaoWorkload
 
 
@@ -53,13 +53,20 @@ class TraceSimResult:
 
 
 def _check_feasibility_batch(cell: Dict) -> List[bool]:
-    """Feasibility flags for one batch of specs (top-level so it pickles)."""
+    """Feasibility flags for one batch of specs (top-level so it pickles).
+
+    The full spec list and the (large) shared profile map ship once per
+    worker in the shared context; each payload is just an index range.
+    """
     from repro.core.latency_targets import compute_service_targets
 
+    context = get_context()
+    specs = context["specs"]
+    profiles = context["profiles"]
     flags: List[bool] = []
-    for spec in cell["specs"]:
+    for spec in specs[cell["start"] : cell["stop"]]:
         try:
-            compute_service_targets(spec, cell["profiles"])
+            compute_service_targets(spec, profiles)
             flags.append(True)
         except InfeasibleSLAError:
             flags.append(False)
@@ -70,6 +77,7 @@ def run_trace_simulation(
     workload: TaobaoWorkload,
     schemes: Sequence[Autoscaler],
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> TraceSimResult:
     """Allocate the whole population with every scheme.
 
@@ -92,13 +100,16 @@ def run_trace_simulation(
     specs = list(workload.services)
     n_batches = max(1, min(len(specs), (workers or 8) * 4))
     step = (len(specs) + n_batches - 1) // n_batches if specs else 1
+    context = {"specs": specs, "profiles": workload.profiles}
     batches = [
-        {"specs": specs[i : i + step], "profiles": workload.profiles}
+        {"start": i, "stop": min(i + step, len(specs))}
         for i in range(0, len(specs), step)
     ]
     flags = [
         flag
-        for batch_flags in run_cells(_check_feasibility_batch, batches, workers)
+        for batch_flags in run_cells(
+            _check_feasibility_batch, batches, workers, context=context, pool=pool
+        )
         for flag in batch_flags
     ]
     feasible = [spec for spec, ok in zip(specs, flags) if ok]
