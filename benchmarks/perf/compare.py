@@ -36,6 +36,7 @@ RATE_METRICS = [
     ("allocation_throughput", "provisioner_actions_per_sec"),
     ("telemetry_overhead", "disabled_events_per_sec"),
     ("analysis_throughput", "critical_path_traces_per_sec"),
+    ("resilience_overhead", "disabled_events_per_sec"),
 ]
 
 #: (benchmark, flag) pairs that must be true whenever present.

@@ -29,6 +29,11 @@ Three single-process benchmarks plus one parallel-grid benchmark:
   tail keep fraction.
 * ``analysis_throughput`` — critical-path extraction and SLA blame over
   the collected traces, in traces/sec.
+* ``resilience_overhead`` — the saturation scenario with no resilience
+  layer versus a full chaos schedule + retry/timeout/breaker/admission
+  policy stack, reporting the enabled-path overhead and pinning that the
+  disabled path stays a single null-check branch (the resilience
+  counterpart of ``telemetry_overhead``).
 
 Results are written to ``BENCH_des.json`` at the repo root so the perf
 trajectory is tracked across PRs.  ``baseline_seed.json`` (checked in,
@@ -600,6 +605,77 @@ def bench_analysis_throughput(seed: int = 7, quick: bool = False) -> dict:
     }
 
 
+def bench_resilience_overhead(
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Saturation scenario, resilience absent vs full policy stack.
+
+    The disabled run is the plain engine — when no chaos schedule or
+    policy bundle is attached, the resilience layer adds exactly one
+    ``is not None`` branch per arrival and per fan-out, so its
+    events/sec must track ``bench_saturation``.  The enabled run
+    attaches a chaos schedule (an error window plus a latency spike on
+    the single microservice; a crash would be skipped on a one-container
+    rotation) and the default retry/timeout/breaker/admission bundle, so
+    every request crosses the policy machinery and a fault actually
+    exercises retries.  Best-of-N on both sides, like
+    ``bench_saturation``.
+    """
+    from repro.resilience import (
+        ChaosSchedule,
+        ErrorWindow,
+        LatencySpike,
+        ResiliencePolicies,
+    )
+
+    if quick:
+        duration_min, trials = 0.5, 2
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+    mid = duration_min / 2.0
+    chaos = ChaosSchedule(
+        error_windows=[ErrorWindow("B", mid, mid + 0.1, 0.05)],
+        latency_spikes=[LatencySpike("B", mid + 0.15, mid + 0.25, 1.5)],
+        seed=seed,
+    )
+
+    def run_once(enabled):
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.25, seed=seed
+            ),
+            chaos=chaos if enabled else None,
+            resilience=ResiliencePolicies.default(seed=seed)
+            if enabled
+            else None,
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        return time.perf_counter() - start, result
+
+    disabled_runs = [run_once(False) for _ in range(max(1, trials))]
+    enabled_runs = [run_once(True) for _ in range(max(1, trials))]
+    disabled_wall, disabled_result = min(disabled_runs, key=lambda p: p[0])
+    enabled_wall, enabled_result = min(enabled_runs, key=lambda p: p[0])
+    disabled_eps = disabled_result.events_processed / disabled_wall
+    enabled_eps = enabled_result.events_processed / enabled_wall
+    stats = enabled_result.resilience or {}
+    return {
+        "disabled_events_per_sec": round(disabled_eps, 1),
+        "enabled_events_per_sec": round(enabled_eps, 1),
+        "overhead_pct": round((1.0 - enabled_eps / disabled_eps) * 100.0, 2),
+        "disabled_wall_s": round(disabled_wall, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+        "enabled_retries": stats.get("retries", 0),
+        "enabled_chaos_errors": stats.get("errors_injected", 0),
+    }
+
+
 BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
@@ -609,6 +685,7 @@ BENCHMARKS = {
     "telemetry_overhead": bench_telemetry_overhead,
     "tail_sampling": bench_tail_sampling,
     "analysis_throughput": bench_analysis_throughput,
+    "resilience_overhead": bench_resilience_overhead,
 }
 
 

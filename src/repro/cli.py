@@ -18,11 +18,17 @@ Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
 * ``analyze`` — run the trace analytics engine on an instrumented run:
   critical-path attribution, SLA blame against the Eq. 5 targets,
   priority-inversion flags, and profile-drift verdicts.
+* ``chaos`` — replay one deterministic fault schedule (container
+  crashes, error windows, latency spikes) twice — observation-only vs
+  the full retry/timeout/breaker/admission stack — and compare SLA miss
+  rates; ``--controlled`` runs the two-tenant resilience sweep instead.
 
 ``simulate``, ``compare``, ``report``, and ``analyze`` all accept
 ``--sampling-rate`` (head sampling) and ``--tail-threshold`` (tail-based
 sampling: keep full traces only for requests slower than the threshold,
-plus a small uniform floor).
+plus a small uniform floor).  ``simulate`` and ``compare`` also accept
+``--chaos`` (seeded random fault schedule) and ``--resilience`` (attach
+the default policy bundle).
 """
 
 from __future__ import annotations
@@ -75,6 +81,32 @@ def _app(name: str):
             f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
         )
     return APPLICATIONS[name]()
+
+
+def _chaos_from_args(args: argparse.Namespace, app, duration_min: float):
+    """Seeded random :class:`ChaosSchedule` over the app, or ``None``."""
+    if not getattr(args, "chaos", False):
+        return None
+    from repro.resilience import ChaosSchedule
+
+    return ChaosSchedule.random(
+        sorted(app.simulated),
+        duration_min=duration_min,
+        seed=args.chaos_seed,
+        crashes=args.chaos_crashes,
+        restart_after_ms=args.chaos_restart_ms,
+        error_rate=args.chaos_error_rate,
+        spike_multiplier=args.chaos_spike,
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Default policy bundle when ``--resilience`` was given, else ``None``."""
+    if not getattr(args, "resilience", False):
+        return None
+    from repro.resilience import ResiliencePolicies
+
+    return ResiliencePolicies.default(seed=getattr(args, "seed", 0))
 
 
 def _run_pool(workers: int):
@@ -149,19 +181,27 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         container_multipliers=multipliers,
         telemetry=sink,
+        chaos=_chaos_from_args(args, app, args.duration),
+        resilience=_resilience_from_args(args),
     )
     rows = []
     for spec in specs:
         if result.completed.get(spec.name, 0) == 0:
             continue
-        rows.append(
-            {
-                "service": spec.name,
-                "completed": result.completed[spec.name],
-                "p95_ms": result.tail_latency(spec.name),
-                "violation": result.sla_violation_rate(spec.name, spec.sla),
-            }
-        )
+        row = {
+            "service": spec.name,
+            "completed": result.completed[spec.name],
+            "p95_ms": result.tail_latency(spec.name),
+            "violation": result.sla_violation_rate(spec.name, spec.sla),
+        }
+        failed = result.failed_requests.get(spec.name, 0)
+        shed = result.shed_requests.get(spec.name, 0)
+        dropped = result.dropped_requests.get(spec.name, 0)
+        if failed or shed or dropped:
+            row["failed"] = failed
+            row["shed"] = shed
+            row["dropped"] = dropped
+        rows.append(row)
     print(
         format_table(
             rows,
@@ -170,6 +210,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "{:.3f}",
         )
     )
+    if result.resilience is not None:
+        interesting = {k: v for k, v in result.resilience.items() if v}
+        print(f"\nResilience: {interesting or 'no faults, no policy activity'}")
     if sink is not None:
         print(
             f"\nTraces: buffered={sink.sampled_traces} "
@@ -196,6 +239,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             sampling_rate=args.sampling_rate,
             tail_threshold_ms=args.tail_threshold,
             pool=pool,
+            chaos=_chaos_from_args(args, app, args.duration),
+            resilience=_resilience_from_args(args),
         )
     rows = []
     for scheme in sweep.schemes():
@@ -374,6 +419,69 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import run_chaos_comparison, run_resilience_sweep
+
+    if args.controlled:
+        sweep = run_resilience_sweep(
+            duration_min=args.duration, seed=args.seed, workers=args.workers
+        )
+        rows = [
+            {
+                key: row[key]
+                for key in (
+                    "policy", "service", "generated", "failed", "shed",
+                    "violations", "sla_miss_rate",
+                )
+            }
+            for row in sweep.rows
+        ]
+        print(format_table(rows, "Controlled resilience sweep", "{:.4f}"))
+        print(
+            f"\ngold miss-rate reduction, full policies vs no-policy: "
+            f"{sweep.improvement('gold'):+.4f}"
+        )
+        return 0
+
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    args.chaos = True  # the subcommand always injects its schedule
+    chaos = _chaos_from_args(args, app, args.duration)
+    comparison = run_chaos_comparison(
+        app,
+        scheme,
+        workload=args.workload,
+        sla=args.sla,
+        chaos=chaos,
+        duration_min=args.duration,
+        seed=args.seed,
+    )
+    for mode in ("no-policy", "resilient"):
+        rows = [
+            {
+                key: row[key]
+                for key in (
+                    "service", "generated", "failed", "shed", "violations",
+                    "sla_miss_rate",
+                )
+            }
+            for row in comparison.rows[mode]
+        ]
+        print(format_table(rows, f"{mode} under the same fault schedule", "{:.4f}"))
+        interesting = {k: v for k, v in comparison.stats[mode].items() if v}
+        print(f"  stats: {interesting}\n")
+    faults = comparison.decisions["resilient"]
+    print(f"Fault / policy decisions (resilient run): {len(faults)}")
+    for record in faults[: args.max_decisions]:
+        print(
+            f"  [{record['minute']:7.3f} min] {record['actor']:>15} "
+            f"{record['microservice']}: {record['reason']}"
+        )
+    if len(faults) > args.max_decisions:
+        print(f"  ... and {len(faults) - args.max_decisions} more")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -402,6 +510,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "for requests slower than this many ms "
                             "(plus a small uniform floor)")
 
+    def add_chaos(p, with_toggle=True):
+        if with_toggle:
+            p.add_argument("--chaos", action="store_true",
+                           help="inject a seeded random fault schedule")
+            p.add_argument("--resilience", action="store_true",
+                           help="attach the default retry/timeout/breaker/"
+                                "admission policy bundle")
+        p.add_argument("--chaos-seed", type=int, default=0, dest="chaos_seed",
+                       help="fault-schedule seed (independent of --seed)")
+        p.add_argument("--chaos-crashes", type=int, default=1,
+                       dest="chaos_crashes",
+                       help="container crashes to schedule")
+        p.add_argument("--chaos-error-rate", type=float, default=0.05,
+                       dest="chaos_error_rate",
+                       help="per-RPC error probability inside error windows")
+        p.add_argument("--chaos-spike", type=float, default=3.0,
+                       dest="chaos_spike",
+                       help="latency multiplier inside spike windows")
+        p.add_argument("--chaos-restart-ms", type=float, default=5_000.0,
+                       dest="chaos_restart_ms",
+                       help="crashed containers restart after this long")
+
     p_scale = sub.add_parser("scale", help="compute an allocation")
     add_common(p_scale)
     p_scale.set_defaults(func=cmd_scale)
@@ -412,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated minutes")
     p_sim.add_argument("--seed", type=int, default=0)
     add_sampling(p_sim)
+    add_chaos(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="static sweep across all schemes")
@@ -428,7 +559,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workers", type=int, default=1,
                        help="processes for the replays (0 = one per CPU)")
     add_sampling(p_cmp)
+    add_chaos(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay one fault schedule with policies off vs on and "
+             "compare SLA miss rates",
+    )
+    add_common(p_chaos)
+    p_chaos.add_argument("--duration", type=float, default=2.0,
+                         help="simulated minutes")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--controlled", action="store_true",
+                         help="run the controlled two-tenant resilience "
+                              "sweep instead of an application comparison")
+    p_chaos.add_argument("--workers", type=int, default=1,
+                         help="processes for the controlled sweep's cells")
+    p_chaos.add_argument("--max-decisions", type=int, default=20,
+                         dest="max_decisions",
+                         help="fault/policy decision records to print")
+    add_chaos(p_chaos, with_toggle=False)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser("trace-sim", help="Taobao-scale synthetic evaluation")
     p_trace.add_argument("--services", type=int, default=60)

@@ -27,6 +27,15 @@ from repro.experiments.interference import (
     run_interference_comparison,
 )
 from repro.experiments.trace_sim import TraceSimResult, run_trace_simulation
+from repro.experiments.resilience import (
+    ChaosComparison,
+    ResilienceSweepResult,
+    default_chaos_schedule,
+    default_policy_grid,
+    default_resilience_scenario,
+    run_chaos_comparison,
+    run_resilience_sweep,
+)
 
 __all__ = [
     "WorkerPool",
@@ -50,4 +59,11 @@ __all__ = [
     "run_interference_comparison",
     "TraceSimResult",
     "run_trace_simulation",
+    "ChaosComparison",
+    "ResilienceSweepResult",
+    "default_chaos_schedule",
+    "default_policy_grid",
+    "default_resilience_scenario",
+    "run_chaos_comparison",
+    "run_resilience_sweep",
 ]

@@ -37,13 +37,18 @@ def evaluate_allocation(
     delta: float = 0.05,
     container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
     telemetry=None,
+    chaos=None,
+    resilience=None,
 ) -> SimulationResult:
     """Run one allocation on the simulator and return the measurements.
 
     Priority scheduling is enabled automatically when the allocation
     carries priorities (i.e. was produced by full Erms).  Pass a
     :class:`~repro.telemetry.TelemetrySink` as ``telemetry`` to collect
-    live spans, windowed metrics, and SLA alerts from the evaluation run.
+    live spans, windowed metrics, and SLA alerts from the evaluation run;
+    pass a :class:`~repro.resilience.ChaosSchedule` /
+    :class:`~repro.resilience.ResiliencePolicies` as ``chaos`` /
+    ``resilience`` to evaluate the allocation under faults.
     """
     scheduling = "priority" if allocation.priorities else "fcfs"
     config = SimulationConfig(
@@ -65,6 +70,8 @@ def evaluate_allocation(
         priorities=allocation.priorities,
         container_multipliers=container_multipliers,
         telemetry=telemetry,
+        chaos=chaos,
+        resilience=resilience,
     )
     return simulator.run()
 

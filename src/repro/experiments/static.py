@@ -120,6 +120,8 @@ def _simulate_static_cell(cell: Dict) -> Dict:
         seed=cell["seed"],
         container_multipliers=multipliers,
         telemetry=sink,
+        chaos=context.get("chaos"),
+        resilience=context.get("resilience"),
     )
     violations = []
     p95s = []
@@ -159,6 +161,8 @@ def run_static_sweep(
     sampling_rate: float = 1.0,
     tail_threshold_ms: Optional[float] = None,
     pool: Optional[WorkerPool] = None,
+    chaos=None,
+    resilience=None,
 ) -> StaticSweepResult:
     """Run the full (workload × SLA × scheme) grid.
 
@@ -193,6 +197,11 @@ def run_static_sweep(
         pool: Persistent :class:`WorkerPool` to reuse across sweeps; the
             sweep's shared context is installed on it (re-forking only if
             it changed) and ``workers`` is ignored.
+        chaos / resilience: Optional
+            :class:`~repro.resilience.ChaosSchedule` /
+            :class:`~repro.resilience.ResiliencePolicies` applied to every
+            simulated cell (both are picklable frozen dataclasses, so the
+            parallel path is unaffected).
 
     Returns:
         A :class:`StaticSweepResult`; infeasible (SLA below latency floor)
@@ -255,6 +264,8 @@ def run_static_sweep(
             "interference_multiplier": interference_multiplier,
             "sampling_rate": sampling_rate,
             "tail_threshold_ms": tail_threshold_ms,
+            "chaos": chaos,
+            "resilience": resilience,
         }
         payloads = [
             {key: value for key, value in cell.items() if key != "row"}

@@ -1,0 +1,662 @@
+"""The resilience runtime woven into the simulator's request path.
+
+A :class:`ResilienceManager` is created by the
+:class:`~repro.simulator.simulation.ClusterSimulator` whenever a chaos
+schedule or a policy bundle is attached.  It owns:
+
+* the **fault side** — scheduling the chaos schedule's container crashes
+  (with restart recovery), drawing per-RPC error outcomes inside error
+  windows, and reporting every fault to the DecisionLog (actor
+  ``chaos``);
+* the **policy side** — per-call timeouts that abandon stragglers,
+  bounded retries with exponential backoff + jitter, per-(service,
+  microservice) circuit breakers with half-open probing (DecisionLog
+  actor ``circuit-breaker``), and queue-depth / latency-aware admission
+  control that sheds low-priority requests first.
+
+Every logical RPC becomes a :class:`_ResilientCall` that drives one
+engine execution per attempt; the engine's continuation chain is
+untouched except that attempt continuations (:class:`_AttemptDone`)
+stand between the engine and the join frames, so a timed-out attempt's
+late completion is ignored and a failed attempt can be retried without
+the join machinery noticing.  All randomness (error draws, backoff
+jitter) comes from the manager's dedicated RNG — the engine's pinned
+draw order is never touched, and with the manager absent the engine pays
+one ``is not None`` branch per arrival and per stage fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.chaos import ChaosSchedule
+from repro.resilience.policies import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResiliencePolicies,
+)
+from repro.telemetry.hooks import _SpanDone
+
+if TYPE_CHECKING:  # runtime import would cycle through the simulator
+    from repro.simulator.simulation import ClusterSimulator
+
+_MS_PER_MINUTE = 60_000.0
+_RNG_BLOCK = 256
+
+_STATE_NAMES = {0: "closed", 1: "open", 2: "half-open"}
+
+__all__ = ["ResilienceManager", "ResilienceStats"]
+
+
+@dataclass
+class ResilienceStats:
+    """Run-level fault and policy counters (mirrored into the registry)."""
+
+    requests: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    shed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    errors_injected: int = 0
+    breaker_fast_fails: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    late_completions: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "shed": self.shed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "errors_injected": self.errors_injected,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "late_completions": self.late_completions,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+        }
+
+
+class _RequestCtx:
+    """Per-request resilience context: outcome flag + final continuation."""
+
+    __slots__ = ("service", "start", "final", "failed")
+
+    def __init__(self, service: str, start: float, final):
+        self.service = service
+        self.start = start
+        self.final = final
+        self.failed = False
+
+
+class _AttemptDone:
+    """Engine continuation of one attempt of one logical call.
+
+    ``alive`` settles the race between the subtree completing and the
+    attempt's timeout: whichever fires first wins, the loser no-ops
+    (late completions are counted — stragglers the client abandoned).
+    ``span_done`` is the telemetry span covering this attempt (the root
+    request span for root calls), used as the parent context when the
+    node fans out to children.
+    """
+
+    __slots__ = ("call", "alive", "span_done")
+
+    def __init__(self, call: "_ResilientCall"):
+        self.call = call
+        self.alive = True
+        self.span_done = None
+
+    def __call__(self, finish: float) -> None:
+        if not self.alive:
+            self.call.mgr.stats.late_completions += 1
+            return
+        self.alive = False
+        call = self.call
+        mgr = call.mgr
+        rate_windows = mgr._error_windows.get(call.node.microservice)
+        if rate_windows is not None:
+            minute = finish / _MS_PER_MINUTE
+            for start_min, end_min, rate in rate_windows:
+                if start_min <= minute < end_min:
+                    if mgr._draw_unit() < rate:
+                        mgr.stats.errors_injected += 1
+                        mgr._count("chaos_errors")
+                        call.attempt_failed(finish, "error")
+                        return
+                    break
+        call.attempt_succeeded(finish)
+
+
+class _AttemptTimeout:
+    """Scheduled abandonment of one attempt (fires unless it completed)."""
+
+    __slots__ = ("attempt",)
+
+    def __init__(self, attempt: _AttemptDone):
+        self.attempt = attempt
+
+    def __call__(self, now: float) -> None:
+        attempt = self.attempt
+        if attempt.alive:
+            attempt.alive = False
+            call = attempt.call
+            call.mgr.stats.timeouts += 1
+            call.mgr._count("resilience_timeouts")
+            call.attempt_failed(now, "timeout")
+
+
+class _Retry:
+    """Scheduled re-execution of a logical call after backoff."""
+
+    __slots__ = ("call",)
+
+    def __init__(self, call: "_ResilientCall"):
+        self.call = call
+
+    def __call__(self, now: float) -> None:
+        self.call.execute_attempt(now)
+
+
+class _ResilientCall:
+    """One logical RPC: breaker gate, attempts, backoff, final outcome."""
+
+    __slots__ = (
+        "mgr",
+        "req",
+        "service",
+        "node",
+        "downstream",
+        "span_parent",
+        "fixed_span",
+        "is_root",
+        "attempt",
+    )
+
+    def __init__(
+        self,
+        mgr: "ResilienceManager",
+        req: _RequestCtx,
+        service: str,
+        node,
+        downstream,
+        span_parent,
+        fixed_span=None,
+        is_root: bool = False,
+    ):
+        self.mgr = mgr
+        self.req = req
+        self.service = service
+        self.node = node
+        self.downstream = downstream
+        self.span_parent = span_parent
+        self.fixed_span = fixed_span
+        self.is_root = is_root
+        self.attempt = 0
+
+    # -- attempt lifecycle ---------------------------------------------
+    def execute_attempt(self, t: float) -> None:
+        mgr = self.mgr
+        breaker = mgr._breaker_for(self.service, self.node.microservice)
+        if breaker is not None and not mgr._breaker_allow(
+            breaker, self.service, self.node.microservice, t
+        ):
+            # Fast fail: no engine work, no breaker feedback (nothing was
+            # probed), straight to the retry/fail decision.  The fast
+            # fail consumes an attempt — otherwise a call facing an open
+            # breaker would loop retry -> fast-fail on every backoff for
+            # as long as the breaker stays open.
+            self.attempt += 1
+            mgr.stats.breaker_fast_fails += 1
+            mgr._count("breaker_fast_fails")
+            self._after_failure(t, "breaker-open", breaker=None)
+            return
+        self.attempt += 1
+        attempt = _AttemptDone(self)
+        inner = attempt
+        tele = mgr.tele
+        if self.is_root:
+            attempt.span_done = self.fixed_span
+        elif tele is not None and self.span_parent is not None:
+            wrapped = tele.wrap_call(self.span_parent, self.node, t, attempt)
+            if wrapped is not attempt:
+                attempt.span_done = wrapped
+                inner = wrapped
+        timeout = mgr._timeout
+        if timeout is not None:
+            mgr.events.push(
+                t + timeout.timeout_for(self.node.microservice),
+                _AttemptTimeout(attempt),
+            )
+        mgr.sim._execute_node(self.service, self.node, t, inner)
+
+    def attempt_succeeded(self, finish: float) -> None:
+        mgr = self.mgr
+        breaker = mgr._breaker_for(self.service, self.node.microservice)
+        if breaker is not None:
+            before = breaker.state
+            transition = breaker.record_success(finish)
+            if transition is not None:
+                mgr._breaker_transition(
+                    self.service, self.node.microservice,
+                    before, transition, finish, "probe successes",
+                )
+        if self.is_root:
+            mgr._finish_request(self.req, finish)
+        else:
+            self.downstream(finish)
+
+    def attempt_failed(self, t: float, kind: str) -> None:
+        mgr = self.mgr
+        breaker = mgr._breaker_for(self.service, self.node.microservice)
+        if breaker is not None:
+            before = breaker.state
+            transition = breaker.record_failure(t)
+            if transition is not None:
+                mgr._breaker_transition(
+                    self.service, self.node.microservice,
+                    before, transition, t, kind,
+                )
+        self._after_failure(t, kind, breaker)
+
+    def _after_failure(self, t: float, kind: str, breaker) -> None:
+        mgr = self.mgr
+        retry = mgr._retry
+        if retry is not None and self.attempt < retry.max_attempts:
+            mgr.stats.retries += 1
+            mgr._count("resilience_retries")
+            delay = retry.backoff_ms(max(self.attempt, 1), mgr._draw_unit())
+            mgr.events.push(t + delay, _Retry(self))
+            return
+        # Retries exhausted (or no retry policy): the logical call fails.
+        if self.is_root:
+            mgr._fail_request(self.req, t, kind)
+        else:
+            # Mark the request failed but keep the join machinery moving:
+            # sibling calls and later stages still execute (servers finish
+            # work for clients that already saw the error).
+            self.req.failed = True
+            self.downstream(t)
+
+
+class ResilienceManager:
+    """Fault injection + client-side policies for one simulation run."""
+
+    def __init__(
+        self,
+        sim: "ClusterSimulator",
+        policies: Optional[ResiliencePolicies],
+        chaos: Optional[ChaosSchedule],
+    ):
+        self.sim = sim
+        self.policies = policies or ResiliencePolicies.disabled()
+        self.chaos = chaos
+        self.events = sim.events
+        self.tele = sim._telemetry
+        self.stats = ResilienceStats()
+        self._retry = self.policies.retry
+        self._timeout = self.policies.timeout
+        self._admission = self.policies.admission
+        seed = self.policies.seed
+        if chaos is not None:
+            # Mix both seeds so (policy seed, chaos seed) pairs are
+            # independent streams; pure-Python arithmetic keeps it exact.
+            seed = (seed * 1_000_003 + chaos.seed) % (2**63)
+        self.rng = np.random.default_rng(seed)
+        self._unit_buf: List[float] = []
+        self._unit_i = 0
+        #: microservice -> ((start_min, end_min, rate), ...) error windows
+        self._error_windows: Dict[str, Tuple[Tuple[float, float, float], ...]] = {}
+        if chaos is not None:
+            for window in chaos.error_windows:
+                existing = self._error_windows.get(window.microservice, ())
+                self._error_windows[window.microservice] = existing + (
+                    (window.start_min, window.end_min, window.error_rate),
+                )
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._ranks: Dict[str, int] = {}
+        self._graph_states: Dict[str, List] = {}
+        self._root_ms: Dict[str, str] = {}
+        self._ewma: Dict[str, float] = {}
+        self._shed_logged: set = set()
+        self._derive_ranks()
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _derive_ranks(self) -> None:
+        """Service priority ranks for admission shedding.
+
+        Explicit ``AdmissionPolicy.ranks`` win; otherwise the rank is the
+        minimum over the simulator's per-microservice priority maps (the
+        Eqs. 13–14 ordering), with unlisted services one past the worst
+        listed rank — matching the priority queue's default.  With no
+        priority information at all every service is rank 0 and nothing
+        is ever shed.
+        """
+        explicit = dict(self._admission.ranks) if self._admission else {}
+        listed: Dict[str, int] = {}
+        worst = -1
+        for ranks in self.sim.priorities.values():
+            for service, rank in ranks.items():
+                listed[service] = min(listed.get(service, rank), rank)
+                worst = max(worst, rank)
+        for spec in self.sim.services:
+            name = spec.name
+            if name in explicit:
+                self._ranks[name] = explicit[name]
+            elif name in listed:
+                self._ranks[name] = listed[name]
+            else:
+                self._ranks[name] = worst + 1 if worst >= 0 else 0
+            # Admission inspects every microservice on the service's
+            # graph, so pressure at a shared downstream dependency sheds
+            # best-effort load just like pressure at the root.
+            self._graph_states[name] = [
+                self.sim._microservices[ms]
+                for ms in sorted(spec.graph.microservices())
+            ]
+            self._root_ms[name] = spec.graph.root.microservice
+
+    def install(self) -> None:
+        """Schedule the chaos plan (called once, at run start)."""
+        if self._installed:
+            return
+        self._installed = True
+        chaos = self.chaos
+        if chaos is None:
+            return
+        known = self.sim._microservices
+        unknown = sorted(
+            {
+                event.microservice
+                for group in (
+                    chaos.crashes, chaos.error_windows, chaos.latency_spikes
+                )
+                for event in group
+                if event.microservice not in known
+            }
+        )
+        if unknown:
+            raise ValueError(
+                f"chaos schedule targets unknown microservices: {unknown}"
+            )
+        for crash in chaos.crashes:
+            self.events.schedule(
+                crash.at_min * _MS_PER_MINUTE, _CrashFire(self, crash)
+            )
+        tele = self.tele
+        if tele is not None:
+            # Continuous faults are logged once at install; crashes log at
+            # fire time with their live container counts.
+            for window in chaos.error_windows:
+                count = self.sim.container_count(window.microservice)
+                tele.decisions.record(
+                    minute=0.0,
+                    actor="chaos",
+                    microservice=window.microservice,
+                    before=count,
+                    after=count,
+                    reason=(
+                        f"error window [{window.start_min:g}, "
+                        f"{window.end_min:g}) min at rate "
+                        f"{window.error_rate:g}"
+                    ),
+                )
+            for spike in chaos.latency_spikes:
+                count = self.sim.container_count(spike.microservice)
+                tele.decisions.record(
+                    minute=0.0,
+                    actor="chaos",
+                    microservice=spike.microservice,
+                    before=count,
+                    after=count,
+                    reason=(
+                        f"latency spike [{spike.start_min:g}, "
+                        f"{spike.end_min:g}) min x{spike.multiplier:g}"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Request path (called from _Arrival / _run_stages)
+    # ------------------------------------------------------------------
+    def should_shed(self, service: str, t: float) -> bool:
+        admission = self._admission
+        if admission is None:
+            return False
+        if self._ranks.get(service, 0) < admission.shed_rank_floor:
+            return False
+        threshold = admission.latency_threshold_ms
+        if threshold is not None:
+            ewma = self._ewma.get(service)
+            if ewma is not None and ewma > threshold:
+                return True
+        limit = admission.max_queue_per_thread
+        for state in self._graph_states[service]:
+            queued = 0
+            threads = 0
+            per_container = state.spec.threads
+            for container in state.containers:
+                threads += per_container
+                fifo = container.fifo
+                queued += len(fifo) if fifo is not None else len(container.queue)
+            if threads and queued / threads > limit:
+                return True
+        return False
+
+    def shed(self, service: str, t: float) -> None:
+        stats = self.stats
+        stats.requests += 1
+        stats.shed += 1
+        result = self.sim.result
+        result.shed_requests[service] = result.shed_requests.get(service, 0) + 1
+        tele = self.tele
+        if tele is not None:
+            tele.record_request_error(service, t, "shed")
+            tele.registry.counter("requests_shed").inc()
+            minute = int(t / _MS_PER_MINUTE)
+            key = (service, minute)
+            if key not in self._shed_logged:
+                self._shed_logged.add(key)
+                root_ms = self._root_ms[service]
+                count = self.sim.container_count(root_ms)
+                tele.decisions.record(
+                    minute=t / _MS_PER_MINUTE,
+                    actor="admission",
+                    microservice=root_ms,
+                    before=count,
+                    after=count,
+                    reason=(
+                        f"shedding {service} (rank "
+                        f"{self._ranks.get(service, 0)}) under pressure"
+                    ),
+                )
+
+    def start_request(self, service: str, node, t: float, final) -> None:
+        self.stats.requests += 1
+        req = _RequestCtx(service, t, final)
+        fixed_span = final if type(final) is _SpanDone else None
+        _ResilientCall(
+            self, req, service, node,
+            downstream=final, span_parent=None,
+            fixed_span=fixed_span, is_root=True,
+        ).execute_attempt(t)
+
+    def submit_children(self, service: str, calls, t: float, frame, done) -> None:
+        """Fan one stage's calls out as resilient logical RPCs.
+
+        ``done`` is the parent node's continuation — an attempt (or its
+        telemetry wrap), which carries the request context and the span
+        the children attach to.
+        """
+        if type(done) is _AttemptDone:
+            attempt = done
+        else:
+            inner = getattr(done, "inner", None)
+            attempt = inner if type(inner) is _AttemptDone else None
+        if attempt is None:  # pragma: no cover - engine invariant
+            raise RuntimeError("resilient fan-out without an attempt context")
+        req = attempt.call.req
+        span_parent = attempt.span_done
+        for child in calls:
+            _ResilientCall(
+                self, req, service, child,
+                downstream=frame, span_parent=span_parent,
+            ).execute_attempt(t)
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def _finish_request(self, req: _RequestCtx, finish: float) -> None:
+        if req.failed:
+            self._fail_request(req, finish, "downstream failure")
+            return
+        self.stats.succeeded += 1
+        admission = self._admission
+        if admission is not None and admission.latency_threshold_ms is not None:
+            alpha = admission.ewma_alpha
+            previous = self._ewma.get(req.service)
+            sample = finish - req.start
+            self._ewma[req.service] = (
+                sample
+                if previous is None
+                else alpha * sample + (1.0 - alpha) * previous
+            )
+        req.final(finish)
+
+    def _fail_request(self, req: _RequestCtx, t: float, kind: str) -> None:
+        self.stats.failed += 1
+        result = self.sim.result
+        result.failed_requests[req.service] = (
+            result.failed_requests.get(req.service, 0) + 1
+        )
+        tele = self.tele
+        if tele is not None:
+            tele.record_request_error(req.service, t, kind)
+            tele.registry.counter("requests_failed").inc()
+
+    # ------------------------------------------------------------------
+    # Breakers
+    # ------------------------------------------------------------------
+    def _breaker_for(self, service: str, microservice: str):
+        policy = self.policies.breaker
+        if policy is None:
+            return None
+        key = (service, microservice)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(policy)
+        return breaker
+
+    def _breaker_allow(
+        self, breaker: CircuitBreaker, service: str, microservice: str, t: float
+    ) -> bool:
+        before = breaker.state
+        allowed, transition = breaker.allow(t)
+        if transition is not None:
+            self._breaker_transition(
+                service, microservice, before, transition, t,
+                "cooldown elapsed",
+            )
+        return allowed
+
+    def _breaker_transition(
+        self,
+        service: str,
+        microservice: str,
+        before: int,
+        state: int,
+        t: float,
+        cause: str,
+    ) -> None:
+        if state == BREAKER_OPEN:
+            self.stats.breaker_opens += 1
+        elif state == BREAKER_CLOSED:
+            self.stats.breaker_closes += 1
+        tele = self.tele
+        if tele is not None:
+            tele.registry.gauge(
+                f"breaker_state.{service}.{microservice}"
+            ).set(state)
+            tele.decisions.record(
+                minute=t / _MS_PER_MINUTE,
+                actor="circuit-breaker",
+                microservice=microservice,
+                before=before,
+                after=state,
+                reason=(
+                    f"{service}->{microservice}: "
+                    f"{_STATE_NAMES[before]} -> {_STATE_NAMES[state]} "
+                    f"({cause})"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def _draw_unit(self) -> float:
+        """One uniform [0,1) draw from the manager's batched stream."""
+        index = self._unit_i
+        buf = self._unit_buf
+        if index >= len(buf):
+            buf = self._unit_buf = self.rng.random(_RNG_BLOCK).tolist()
+            index = 0
+        self._unit_i = index + 1
+        return buf[index]
+
+    def _count(self, name: str) -> None:
+        tele = self.tele
+        if tele is not None:
+            tele.registry.counter(name).inc()
+
+
+class _CrashFire:
+    """Scheduled chaos crash: kill a container, optionally with restart."""
+
+    __slots__ = ("mgr", "crash")
+
+    def __init__(self, mgr: ResilienceManager, crash):
+        self.mgr = mgr
+        self.crash = crash
+
+    def __call__(self, now: float) -> None:
+        mgr = self.mgr
+        crash = self.crash
+        sim = mgr.sim
+        if sim.container_count(crash.microservice) <= 1:
+            # Never kill the last container; record the skip so the
+            # schedule's intent stays visible.
+            tele = mgr.tele
+            if tele is not None:
+                tele.decisions.record(
+                    minute=now / _MS_PER_MINUTE,
+                    actor="chaos",
+                    microservice=crash.microservice,
+                    before=1,
+                    after=1,
+                    reason="crash skipped (last container)",
+                )
+            return
+        mgr.stats.crashes += 1
+        mgr._count("chaos_crashes")
+        sim.inject_container_failure(
+            crash.microservice,
+            retry=crash.retry,
+            restart_after_ms=crash.restart_after_ms,
+            actor="chaos",
+        )
+        if crash.restart_after_ms is not None:
+            mgr.stats.restarts += 1
+            mgr._count("chaos_restarts")

@@ -83,6 +83,14 @@ class AutoscaledSimulation:
             decision-audit entries (observed/planned workload, container
             deltas, and the reason — including kept-allocation outcomes
             on infeasible SLAs).
+        chaos: Optional :class:`~repro.resilience.ChaosSchedule` of
+            deterministic faults.  Crashed containers are restored by the
+            next reconcile (the autoscaler sees the reduced count and
+            scales back to target) in addition to any per-crash
+            ``restart_after_ms`` recovery.
+        resilience: Optional
+            :class:`~repro.resilience.ResiliencePolicies` woven into the
+            request path of the underlying simulator.
     """
 
     def __init__(
@@ -96,6 +104,8 @@ class AutoscaledSimulation:
         autoscale: Optional[AutoscaleConfig] = None,
         predictor_factory=None,
         telemetry=None,
+        chaos=None,
+        resilience=None,
     ):
         self.specs = list(specs)
         self.scaler = scaler
@@ -121,6 +131,8 @@ class AutoscaledSimulation:
             config=self.config,
             priorities=allocation.priorities,
             telemetry=telemetry,
+            chaos=chaos,
+            resilience=resilience,
         )
         self._telemetry = telemetry
         self.result = AutoscaledResult(simulation=self.simulator.result)

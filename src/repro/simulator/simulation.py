@@ -76,6 +76,8 @@ from repro.simulator.events import EventQueue
 from repro.simulator.scheduler import FCFSQueue, PriorityQueuePolicy, QueuePolicy
 
 if TYPE_CHECKING:  # avoid a runtime import cycle; the sink is duck-typed
+    from repro.resilience.chaos import ChaosSchedule
+    from repro.resilience.policies import ResiliencePolicies
     from repro.telemetry.hooks import TelemetrySink
 
 #: Request arrival rate: requests/minute, constant or a function of the
@@ -247,6 +249,19 @@ class SimulationResult:
         self.containers: Dict[str, int] = {}
         #: Events the engine processed to produce this result (perf metric).
         self.events_processed: int = 0
+        #: Per service: queued calls lost to a ``retry=False`` container
+        #: kill (an upper bound on lost requests — a fan-out request can
+        #: lose several calls).  Previously only inferable from
+        #: ``generated > completed``.
+        self.dropped_requests: Dict[str, int] = {}
+        #: Per service: requests rejected at arrival by admission control.
+        self.shed_requests: Dict[str, int] = {}
+        #: Per service: requests that failed after exhausting resilience
+        #: policies (injected errors / timeouts / open breakers).
+        self.failed_requests: Dict[str, int] = {}
+        #: Resilience-layer counters (``ResilienceStats.to_dict``) when a
+        #: chaos schedule or policy bundle was attached; ``None`` otherwise.
+        self.resilience: Optional[Dict[str, int]] = None
         self._e2e: Dict[str, Tuple[array, array]] = {}
         self._own: Dict[str, Tuple[array, array]] = {}
 
@@ -569,6 +584,7 @@ class _Arrival:
         "e2e_values",
         "done_pool",
         "tele",
+        "res",
     )
 
     def __init__(self, sim: "ClusterSimulator", spec: ServiceSpec, end_ms: float):
@@ -595,10 +611,34 @@ class _Arrival:
         self.e2e_minutes, self.e2e_values = result._e2e_buffers(spec.name)
         self.done_pool: List[_RequestDone] = []
         self.tele = sim._telemetry
+        self.res = sim._resilience
 
     def __call__(self, t: float) -> None:
         name = self.name
         self.generated[name] += 1
+        res = self.res
+        if res is not None:
+            # Resilient path: admission control at the front door, then
+            # the request runs as resilient logical calls (timeouts,
+            # retries, breakers) managed off the engine fast path.
+            if res.should_shed(name, t):
+                res.shed(name, t)
+            else:
+                pool = self.done_pool
+                if pool:
+                    done = pool.pop()
+                    done.start = t
+                else:
+                    done = _RequestDone(
+                        pool, self.completed, name,
+                        self.e2e_minutes, self.e2e_values, t,
+                    )
+                tele = self.tele
+                if tele is not None:
+                    done = tele.wrap_root(name, self.root, t, done)
+                res.start_request(name, self.root, t, done)
+            self.schedule_next(t)
+            return
         pool = self.done_pool
         if pool:
             done = pool.pop()
@@ -745,6 +785,16 @@ class ClusterSimulator:
         telemetry: Optional live :class:`~repro.telemetry.TelemetrySink`;
             when given, the run emits spans, windowed metrics, SLA
             alerts, and scaling audit records as it executes.
+        chaos: Optional :class:`~repro.resilience.ChaosSchedule` of
+            deterministic faults (container crashes with restart
+            recovery, per-RPC error windows, latency spikes) replayed
+            inside the event loop.
+        resilience: Optional :class:`~repro.resilience.ResiliencePolicies`
+            bundle (timeouts, retries, circuit breakers, admission
+            control) woven into the request path.  Attaching either
+            ``chaos`` or ``resilience`` activates the resilience manager;
+            with both ``None`` (the default) the engine is untouched and
+            the golden determinism fingerprints hold bit-for-bit.
     """
 
     def __init__(
@@ -757,10 +807,22 @@ class ClusterSimulator:
         priorities: Optional[Mapping[str, Mapping[str, int]]] = None,
         container_multipliers: Optional[Mapping[str, Sequence[float]]] = None,
         telemetry: Optional["TelemetrySink"] = None,
+        chaos: Optional["ChaosSchedule"] = None,
+        resilience: Optional["ResiliencePolicies"] = None,
     ):
         self.services = list(services)
         self.config = config or SimulationConfig()
         self._telemetry = telemetry
+        self._resilience = None
+        #: microservice -> ((start_min, end_min, multiplier), ...) chaos
+        #: latency-spike windows; applied to every container of the
+        #: microservice, including ones created later (scale-ups, restarts).
+        self._spikes: Dict[str, Tuple[Tuple[float, float, float], ...]] = {}
+        if chaos is not None:
+            for spike in chaos.latency_spikes:
+                self._spikes[spike.microservice] = self._spikes.get(
+                    spike.microservice, ()
+                ) + ((spike.start_min, spike.end_min, spike.multiplier),)
         self.priorities = {k: dict(v) for k, v in (priorities or {}).items()}
         self.rng = np.random.default_rng(self.config.seed)
         self.events = EventQueue()
@@ -807,12 +869,25 @@ class ClusterSimulator:
                     self._make_queue(name),
                     spec.threads,
                     spec.base_service_ms,
-                    multiplier,
+                    self._wrap_multiplier(name, multiplier),
                 )
                 for multiplier in multipliers
             ]
             self._microservices[name] = _MicroserviceState(spec, container_objs)
             self.result.containers[name] = len(container_objs)
+        if chaos is not None or resilience is not None:
+            from repro.resilience.manager import ResilienceManager
+
+            self._resilience = ResilienceManager(self, resilience, chaos)
+
+    def _wrap_multiplier(self, microservice: str, multiplier):
+        """Compose chaos latency-spike windows onto a container multiplier."""
+        windows = self._spikes.get(microservice) if self._spikes else None
+        if not windows:
+            return multiplier
+        from repro.resilience.chaos import SpikeMultiplier
+
+        return SpikeMultiplier(multiplier, windows)
 
     def _make_queue(self, microservice: str) -> QueuePolicy:
         if self.config.scheduling == "priority":
@@ -849,6 +924,7 @@ class ClusterSimulator:
         reason: Optional[str] = None,
         workload: Optional[float] = None,
         latency_target_ms: Optional[float] = None,
+        actor: str = "simulator",
     ) -> None:
         """Scale a microservice to ``target`` containers at runtime.
 
@@ -860,7 +936,9 @@ class ClusterSimulator:
         With telemetry attached, every call that changes the count is
         audited: the decision log records the before/after counts plus
         the optional ``reason`` / ``workload`` / ``latency_target_ms``
-        context the caller acted on.
+        context the caller acted on, under the given ``actor`` (the
+        failure-recovery path restarts containers as ``chaos`` /
+        ``failure-injection``).
         """
         if target < 1:
             raise ValueError(f"target must be >= 1, got {target}")
@@ -869,7 +947,7 @@ class ClusterSimulator:
         if delta != 0 and self._telemetry is not None:
             self._telemetry.decisions.record(
                 minute=self.events.now / _MS_PER_MINUTE,
-                actor="simulator",
+                actor=actor,
                 microservice=microservice,
                 before=len(state.containers),
                 after=target,
@@ -882,7 +960,7 @@ class ClusterSimulator:
                 self._make_queue(microservice),
                 state.spec.threads,
                 state.base_ms,
-                multiplier,
+                self._wrap_multiplier(microservice, multiplier),
             )
 
             def _join(_t: float, c: _Container = container) -> None:
@@ -907,7 +985,11 @@ class ClusterSimulator:
         self.result.containers[microservice] = len(state.containers)
 
     def inject_container_failure(
-        self, microservice: str, retry: bool = True
+        self,
+        microservice: str,
+        retry: bool = True,
+        restart_after_ms: Optional[float] = None,
+        actor: str = "failure-injection",
     ) -> int:
         """Kill one container (crash/OOM/node loss).
 
@@ -915,8 +997,15 @@ class ClusterSimulator:
         being processed finish (connection-drain approximation).  With
         ``retry`` (the default — microservice RPC clients retry), its
         queued jobs are re-enqueued on surviving containers; without it
-        they are dropped and the affected requests never complete
-        (visible as ``generated > completed``).
+        they are dropped, counted in ``result.dropped_requests`` per
+        service, and the affected requests never complete.
+
+        With ``restart_after_ms`` set, a fresh container re-joins the
+        rotation after that delay through the startup machinery of
+        :meth:`scale_container_count` (crash-with-recovery: the restart
+        is audited in the decision log under the same ``actor``).  The
+        replacement starts clean — a static interference multiplier
+        carries over, a time-varying one does not (fresh host).
 
         Returns the number of queued jobs affected.  The last container
         of a microservice cannot be killed.
@@ -926,7 +1015,7 @@ class ClusterSimulator:
         if self._telemetry is not None:
             self._telemetry.decisions.record(
                 minute=self.events.now / _MS_PER_MINUTE,
-                actor="failure-injection",
+                actor=actor,
                 microservice=microservice,
                 before=len(state.containers) + 1,
                 after=len(state.containers),
@@ -934,6 +1023,7 @@ class ClusterSimulator:
                 + (" (queued jobs retried)" if retry else " (queued jobs lost)"),
             )
         affected = 0
+        dropped = self.result.dropped_requests
         while True:
             job = removed.queue.pop()
             if job is None:
@@ -943,7 +1033,22 @@ class ClusterSimulator:
                 replacement = state.pick()
                 replacement.queue.push(job, job.service)
                 self._dispatch(state, replacement)
+            else:
+                dropped[job.service] = dropped.get(job.service, 0) + 1
         self.result.containers[microservice] = len(state.containers)
+        if restart_after_ms is not None:
+            self.scale_container_count(
+                microservice,
+                len(state.containers) + 1,
+                startup_delay_ms=restart_after_ms,
+                multiplier=(
+                    removed.static_mult
+                    if removed.static_mult is not None
+                    else 1.0
+                ),
+                reason=f"container restart in {restart_after_ms:g} ms",
+                actor=actor,
+            )
         return affected
 
     # ------------------------------------------------------------------
@@ -961,6 +1066,8 @@ class ClusterSimulator:
                 )
         if self._telemetry is not None:
             self._telemetry.begin_run(self)
+        if self._resilience is not None:
+            self._resilience.install()
         for spec in self.services:
             result.generated[spec.name] = 0
             result.completed[spec.name] = 0
@@ -972,6 +1079,8 @@ class ClusterSimulator:
         if self.config.drain:
             processed += self.events.run_until(float("inf"))
         result.events_processed += processed
+        if self._resilience is not None:
+            result.resilience = self._resilience.stats.to_dict()
         if self._telemetry is not None:
             self._telemetry.finalize(self)
         return result
@@ -1131,6 +1240,13 @@ class ClusterSimulator:
                 frame = _StageFrame(
                     self, service, node, stage_index + 1, len(calls), t, done
                 )
+                res = self._resilience
+                if res is not None:
+                    # Each downstream call becomes a resilient logical
+                    # RPC (timeout / retry / breaker); the manager wraps
+                    # per-attempt telemetry spans itself.
+                    res.submit_children(service, calls, t, frame, done)
+                    return
                 tele = self._telemetry
                 if tele is not None:
                     # Each downstream call gets its own span-emitting

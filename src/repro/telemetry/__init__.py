@@ -16,6 +16,7 @@ from repro.telemetry.monitor import (
     AlertEvent,
     DecisionLog,
     DecisionRecord,
+    ErrorBudgetAlert,
     SLAMonitor,
     WindowStats,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Counter",
     "DecisionLog",
     "DecisionRecord",
+    "ErrorBudgetAlert",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -88,6 +88,10 @@ class TelemetryConfig:
             utilization recorded per minute, mirroring
             ``SimulationResult.to_metrics_store``.
         percentile: Tail percentile the SLA monitor watches.
+        error_budget: When set, the SLA monitor raises an
+            :class:`~repro.telemetry.monitor.ErrorBudgetAlert` for any
+            window whose failed/shed request fraction (fed by the
+            resilience layer) exceeds this budget.
     """
 
     window_min: float = 1.0
@@ -101,6 +105,7 @@ class TelemetryConfig:
     memory_utilization: float = 0.0
     host_id: str = "sim-host"
     percentile: float = 95.0
+    error_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.window_min <= 0:
@@ -116,6 +121,10 @@ class TelemetryConfig:
         if not 0.0 <= self.tail_floor <= 1.0:
             raise ValueError(
                 f"tail_floor must be in [0, 1], got {self.tail_floor}"
+            )
+        if self.error_budget is not None and not 0.0 < self.error_budget < 1.0:
+            raise ValueError(
+                f"error_budget must be in (0, 1), got {self.error_budget}"
             )
 
 
@@ -247,7 +256,10 @@ class TelemetrySink:
 
     def __post_init__(self) -> None:
         if self.monitor is None:
-            self.monitor = SLAMonitor(percentile=self.config.percentile)
+            self.monitor = SLAMonitor(
+                percentile=self.config.percentile,
+                error_budget=self.config.error_budget,
+            )
         self._rng = np.random.default_rng(self.config.seed)
         self._sim = None
         self._trace_n = 0
@@ -367,6 +379,20 @@ class TelemetrySink:
         )
         self.registry.histogram(f"e2e_latency_ms.{service}").observe(e2e)
         self.registry.counter("requests_completed").inc()
+
+    def record_request_error(self, service: str, t: float, kind: str) -> None:
+        """One failed or shed request (resilience layer).
+
+        Feeds the SLA monitor's error-budget accounting for the window
+        containing ``t`` and counts the error by kind (``error`` /
+        ``timeout`` / ``breaker-open`` / ``shed`` / ``downstream
+        failure``) in the metrics registry.
+        """
+        minute = t / _MS_PER_MINUTE
+        self.monitor.observe_error(
+            service, int(minute / self.config.window_min)
+        )
+        self.registry.counter(f"request_errors.{service}.{kind}").inc()
 
     # ------------------------------------------------------------------
     # Window machinery (one event per window; off the hot path)

@@ -27,6 +27,7 @@ __all__ = [
     "AlertEvent",
     "DecisionLog",
     "DecisionRecord",
+    "ErrorBudgetAlert",
     "SLAMonitor",
     "WindowStats",
 ]
@@ -34,7 +35,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WindowStats:
-    """One closed observation window of one service."""
+    """One closed observation window of one service.
+
+    ``count`` / ``violations`` / ``p95_ms`` cover *completed* requests;
+    ``errors`` counts requests that failed or were shed in the window
+    (resilience layer) — a window can close with errors and no
+    completions, in which case ``p95_ms`` is 0.
+    """
 
     service: str
     window: int  # window index: int(minute // window_min)
@@ -43,13 +50,20 @@ class WindowStats:
     violations: int
     p95_ms: float
     sla_ms: float
+    errors: int = 0
 
     @property
     def violation_rate(self) -> float:
         return self.violations / self.count if self.count else 0.0
 
+    @property
+    def error_rate(self) -> float:
+        """Errors over all requests the window saw (completed + errored)."""
+        total = self.count + self.errors
+        return self.errors / total if total else 0.0
+
     def to_dict(self) -> Dict:
-        return {
+        entry = {
             "service": self.service,
             "window": self.window,
             "start_min": round(self.start_min, 6),
@@ -59,6 +73,10 @@ class WindowStats:
             "p95_ms": round(self.p95_ms, 4),
             "sla_ms": self.sla_ms,
         }
+        if self.errors:
+            entry["errors"] = self.errors
+            entry["error_rate"] = round(self.error_rate, 6)
+        return entry
 
 
 @dataclass(frozen=True)
@@ -85,23 +103,68 @@ class AlertEvent:
         }
 
 
+@dataclass(frozen=True)
+class ErrorBudgetAlert:
+    """A window whose error fraction exhausted the service's error budget.
+
+    Raised by the :class:`SLAMonitor` when failed/shed requests (fed via
+    :meth:`SLAMonitor.observe_error` by the resilience layer) exceed
+    ``error_budget`` as a fraction of all requests the window saw.
+    """
+
+    service: str
+    window: int
+    start_min: float
+    errors: int
+    count: int
+    error_rate: float
+    budget: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "service": self.service,
+            "window": self.window,
+            "start_min": round(self.start_min, 6),
+            "errors": self.errors,
+            "count": self.count,
+            "error_rate": round(self.error_rate, 6),
+            "budget": self.budget,
+        }
+
+
 class SLAMonitor:
     """Watches windowed tail latency against per-service SLAs.
 
     The telemetry sink feeds it raw end-to-end samples via
-    :meth:`observe`; window closing is driven externally (by the sink's
-    window ticks and run finalization), so the monitor itself holds no
-    clock.  Services without a registered SLA are tracked but never
-    alerted.
+    :meth:`observe` (and, with the resilience layer attached, failed/shed
+    requests via :meth:`observe_error`); window closing is driven
+    externally (by the sink's window ticks and run finalization), so the
+    monitor itself holds no clock.  Services without a registered SLA are
+    tracked but never latency-alerted; with ``error_budget`` set, any
+    window whose error fraction exceeds it raises an
+    :class:`ErrorBudgetAlert`.
     """
 
-    def __init__(self, slas: Optional[Dict[str, float]] = None, percentile: float = 95.0):
+    def __init__(
+        self,
+        slas: Optional[Dict[str, float]] = None,
+        percentile: float = 95.0,
+        error_budget: Optional[float] = None,
+    ):
+        if error_budget is not None and not 0.0 < error_budget < 1.0:
+            raise ValueError(
+                f"error_budget must be in (0, 1), got {error_budget}"
+            )
         self.slas: Dict[str, float] = dict(slas or {})
         self.percentile = percentile
+        self.error_budget = error_budget
         self.windows: List[WindowStats] = []
         self.alerts: List[AlertEvent] = []
+        self.error_alerts: List[ErrorBudgetAlert] = []
         #: open window buffers: service -> window index -> raw samples (ms)
         self._open: Dict[str, Dict[int, List[float]]] = {}
+        #: open error counts: service -> window index -> errored requests
+        self._open_errors: Dict[str, Dict[int, int]] = {}
 
     # -- ingest ---------------------------------------------------------
     def observe(self, service: str, window: int, latency_ms: float) -> None:
@@ -114,14 +177,32 @@ class SLAMonitor:
             samples = by_window[window] = []
         samples.append(latency_ms)
 
+    def observe_error(self, service: str, window: int) -> None:
+        """Record one failed/shed request into an open window."""
+        by_window = self._open_errors.get(service)
+        if by_window is None:
+            by_window = self._open_errors[service] = {}
+        by_window[window] = by_window.get(window, 0) + 1
+
     def close_windows(self, before: int, window_min: float) -> List[WindowStats]:
         """Close (and return) every open window with index < ``before``."""
         closed: List[WindowStats] = []
-        for service in sorted(self._open):
-            by_window = self._open[service]
-            for index in sorted(w for w in by_window if w < before):
+        for service in sorted(set(self._open) | set(self._open_errors)):
+            by_window = self._open.get(service, {})
+            by_errors = self._open_errors.get(service, {})
+            indices = sorted(
+                {w for w in by_window if w < before}
+                | {w for w in by_errors if w < before}
+            )
+            for index in indices:
                 closed.append(
-                    self._close(service, index, by_window.pop(index), window_min)
+                    self._close(
+                        service,
+                        index,
+                        by_window.pop(index, []),
+                        window_min,
+                        errors=by_errors.pop(index, 0),
+                    )
                 )
         return closed
 
@@ -131,21 +212,34 @@ class SLAMonitor:
         return closed
 
     def _close(
-        self, service: str, index: int, samples: List[float], window_min: float
+        self,
+        service: str,
+        index: int,
+        samples: List[float],
+        window_min: float,
+        errors: int = 0,
     ) -> WindowStats:
         sla = self.slas.get(service, float("inf"))
-        values = np.asarray(samples, dtype=float)
+        count = len(samples)
+        if count:
+            values = np.asarray(samples, dtype=float)
+            violations = int(np.count_nonzero(values > sla))
+            p95 = float(np.percentile(values, self.percentile))
+        else:  # errors-only window: every request failed or was shed
+            violations = 0
+            p95 = 0.0
         stats = WindowStats(
             service=service,
             window=index,
             start_min=index * window_min,
-            count=len(samples),
-            violations=int(np.count_nonzero(values > sla)),
-            p95_ms=float(np.percentile(values, self.percentile)),
+            count=count,
+            violations=violations,
+            p95_ms=p95,
             sla_ms=sla if sla != float("inf") else 0.0,
+            errors=errors,
         )
         self.windows.append(stats)
-        if sla != float("inf") and stats.p95_ms > sla:
+        if sla != float("inf") and count and stats.p95_ms > sla:
             self.alerts.append(
                 AlertEvent(
                     service=service,
@@ -155,6 +249,19 @@ class SLAMonitor:
                     sla_ms=sla,
                     violations=stats.violations,
                     count=stats.count,
+                )
+            )
+        budget = self.error_budget
+        if budget is not None and errors and stats.error_rate > budget:
+            self.error_alerts.append(
+                ErrorBudgetAlert(
+                    service=service,
+                    window=index,
+                    start_min=stats.start_min,
+                    errors=errors,
+                    count=count,
+                    error_rate=stats.error_rate,
+                    budget=budget,
                 )
             )
         return stats

@@ -109,6 +109,68 @@ class TestGoldenFingerprints:
         assert first.completed == second.completed
 
 
+class TestChaosDeterminism:
+    """Chaos + policies ride dedicated RNG streams: runs stay pinned."""
+
+    def run_chaotic(self):
+        from repro.resilience import (
+            ChaosSchedule,
+            CrashEvent,
+            ErrorWindow,
+            LatencySpike,
+            ResiliencePolicies,
+        )
+
+        s1 = ServiceSpec(
+            "s1",
+            DependencyGraph("s1", call("F", stages=[[call("P"), call("Q")]])),
+            0.0,
+            300.0,
+        )
+        s2 = ServiceSpec(
+            "s2", DependencyGraph("s2", call("G", stages=[[call("P")]])), 0.0, 300.0
+        )
+        chaos = ChaosSchedule(
+            crashes=[CrashEvent(0.2, "P", restart_after_ms=4_000.0)],
+            error_windows=[ErrorWindow("Q", 0.15, 0.35, 0.3)],
+            latency_spikes=[LatencySpike("F", 0.1, 0.3, 2.5)],
+            seed=7,
+        )
+        return ClusterSimulator(
+            [s1, s2],
+            {
+                "F": SimulatedMicroservice("F", 4.0, 2),
+                "G": SimulatedMicroservice("G", 6.0, 2),
+                "P": SimulatedMicroservice("P", 3.0, 4),
+                "Q": SimulatedMicroservice("Q", 5.0, 2),
+            },
+            containers={"F": 2, "G": 2, "P": 2, "Q": 2},
+            rates={"s1": 9_000.0, "s2": 6_000.0},
+            config=SimulationConfig(duration_min=0.5, warmup_min=0.1, seed=42),
+            chaos=chaos,
+            resilience=ResiliencePolicies.default(seed=1),
+        ).run()
+
+    def test_chaotic_rerun_is_byte_identical(self):
+        first, second = self.run_chaotic(), self.run_chaotic()
+        assert fingerprint(
+            first, ["s1", "s2"], ["F", "G", "P", "Q"]
+        ) == fingerprint(second, ["s1", "s2"], ["F", "G", "P", "Q"])
+        assert first.failed_requests == second.failed_requests
+        assert first.shed_requests == second.shed_requests
+        assert first.resilience == second.resilience
+
+    def test_disabled_resilience_keeps_golden_fingerprints(self):
+        """Without chaos/resilience args the engine path — and thus the
+        pinned fingerprints above — is untouched (the hard correctness
+        bar of the resilience layer)."""
+        result = run_shared()
+        assert result.resilience is None
+        assert fingerprint(result, ["s1", "s2"], ["F", "G", "P", "Q"]) == (
+            GOLDEN_SHARED
+        )
+
+
 class TestParallelEqualsSerial:
     def test_static_sweep_rows_identical(self):
         app = social_network()

@@ -66,6 +66,18 @@ class TestContainerFailure:
             result.generated["svc"] - result.completed["svc"] == dropped[0]
         )
 
+    def test_dropped_requests_counter(self):
+        sim = make_simulator(containers=2, rate=50_000.0)
+        dropped = []
+        sim.events.schedule(
+            30_000.0,
+            lambda t: dropped.append(
+                sim.inject_container_failure("B", retry=False)
+            ),
+        )
+        result = sim.run()
+        assert result.dropped_requests["svc"] == dropped[0] > 0
+
     def test_failure_raises_latency(self):
         calm = make_simulator(containers=3, rate=25_000.0, duration=2.0).run()
         degraded_sim = make_simulator(containers=3, rate=25_000.0, duration=2.0)
@@ -74,6 +86,49 @@ class TestContainerFailure:
         )
         degraded = degraded_sim.run()
         assert degraded.tail_latency("svc") > calm.tail_latency("svc")
+
+
+class TestRestartRecovery:
+    def test_restart_restores_capacity(self):
+        """A crash with ``restart_after_ms`` heals without the autoscaler."""
+        sim = make_simulator(containers=3, rate=20_000.0)
+        sim.events.schedule(
+            20_000.0,
+            lambda t: sim.inject_container_failure(
+                "B", restart_after_ms=5_000.0
+            ),
+        )
+        counts = []
+        sim.events.schedule(21_000.0, lambda t: counts.append(sim.container_count("B")))
+        sim.events.schedule(30_000.0, lambda t: counts.append(sim.container_count("B")))
+        result = sim.run()
+        assert counts == [2, 3]  # down after the crash, back after 5 s
+        assert result.completed["svc"] == result.generated["svc"]
+
+    def test_restart_records_decision(self):
+        sink = TelemetrySink()
+        spec = ServiceSpec("svc", DependencyGraph("svc", call("B")), 0.0, 1e9)
+        sim = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=2)},
+            containers={"B": 3},
+            rates={"svc": 10_000.0},
+            config=SimulationConfig(duration_min=1.0, warmup_min=0.0, seed=1),
+            telemetry=sink,
+        )
+        sim.events.schedule(
+            20_000.0,
+            lambda t: sim.inject_container_failure(
+                "B", restart_after_ms=4_000.0
+            ),
+        )
+        sim.run()
+        records = sink.decisions.records
+        crashes = [r for r in records if r.delta < 0]
+        restarts = [r for r in records if "container restart" in r.reason]
+        assert len(crashes) == 1 and len(restarts) == 1
+        assert restarts[0].delta == 1
+        assert restarts[0].minute >= crashes[0].minute
 
 
 class TestAutoscalerRecovery:
