@@ -676,6 +676,86 @@ def bench_resilience_overhead(
     }
 
 
+def bench_tsdb_overhead(
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Saturation scenario, embedded TSDB absent vs scraping aggressively.
+
+    The disabled run attaches no telemetry sink at all — the engine's
+    telemetry guard is a single ``is not None`` branch, so its
+    events/sec must track ``bench_saturation`` (gated within 5 % in
+    ``test_perf_bench`` and ``compare.py``).  The enabled run attaches a
+    full sink plus a :class:`TimeSeriesStore` scraping every 0.05
+    simulated minutes with a small rules file evaluated at every scrape,
+    measuring the worst-case cost of the monitoring loop.  Best-of-N on
+    both sides, like ``bench_saturation``.
+    """
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        TimeSeriesConfig,
+        TimeSeriesStore,
+    )
+
+    if quick:
+        duration_min, trials = 0.5, 2
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+    rules = {
+        "rules": [
+            {"record": "p95_smoothed",
+             "expr": 'avg_over_time(e2e_latency_ms{stat="p95"}[0.25m])'},
+            {"alert": "HighP95",
+             "expr": 'e2e_latency_ms{stat="p95"}',
+             "op": ">", "threshold": 60.0, "for": 0.1},
+        ]
+    }
+
+    def run_once(enabled):
+        sink = None
+        if enabled:
+            sink = TelemetrySink(
+                config=TelemetryConfig(
+                    window_min=0.25, spans=False, max_traces=0
+                ),
+                timeseries=TimeSeriesStore(
+                    TimeSeriesConfig(scrape_interval_min=0.05), rules=rules
+                ),
+            )
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.25, seed=seed
+            ),
+            telemetry=sink,
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        return time.perf_counter() - start, result, sink
+
+    disabled_runs = [run_once(False) for _ in range(max(1, trials))]
+    enabled_runs = [run_once(True) for _ in range(max(1, trials))]
+    disabled_wall, disabled_result, _ = min(disabled_runs, key=lambda p: p[0])
+    enabled_wall, enabled_result, sink = min(enabled_runs, key=lambda p: p[0])
+    disabled_eps = disabled_result.events_processed / disabled_wall
+    enabled_eps = enabled_result.events_processed / enabled_wall
+    store = sink.timeseries
+    return {
+        "disabled_events_per_sec": round(disabled_eps, 1),
+        "enabled_events_per_sec": round(enabled_eps, 1),
+        "overhead_pct": round((1.0 - enabled_eps / disabled_eps) * 100.0, 2),
+        "disabled_wall_s": round(disabled_wall, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+        "scrapes": store.scrapes,
+        "series": len(store.series),
+        "samples": store.total_samples,
+    }
+
+
 BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
@@ -686,6 +766,7 @@ BENCHMARKS = {
     "tail_sampling": bench_tail_sampling,
     "analysis_throughput": bench_analysis_throughput,
     "resilience_overhead": bench_resilience_overhead,
+    "tsdb_overhead": bench_tsdb_overhead,
 }
 
 

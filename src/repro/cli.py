@@ -14,7 +14,16 @@ Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
 * ``report`` — run the autoscaled control loop with live telemetry and
   print/export the observability report (SLA windows, alerts, scaling
   decisions, chrome://tracing timelines); ``--format prom`` dumps the
-  metrics registry in Prometheus text exposition instead.
+  metrics registry in Prometheus text exposition instead; ``--diff A B``
+  skips the run entirely and compares two saved JSON run reports,
+  printing a per-metric verdict table (exit 1 on any regression).
+* ``dashboard`` — run the autoscaled control loop with the embedded
+  time-series store scraping it, then write one self-contained HTML
+  dashboard (inline SVG, no scripts, no external resources): latency
+  percentiles over time, SLA miss rate per window against the Eq. 5
+  tail budget, breaker state with chaos overlays, and container
+  timelines.  ``--rules FILE`` attaches declarative recording/alert
+  rules evaluated on the sim clock.
 * ``analyze`` — run the trace analytics engine on an instrumented run:
   critical-path attribution, SLA blame against the Eq. 5 targets,
   priority-inversion flags, and profile-drift verdicts.
@@ -285,6 +294,27 @@ def cmd_trace_sim(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.diff:
+        from repro.telemetry.diff import diff_run_reports, load_run_report
+
+        path_a, path_b = args.diff
+        diff = diff_run_reports(
+            load_run_report(path_a), load_run_report(path_b)
+        )
+        print(
+            format_table(
+                diff.table_rows(),
+                f"Run diff: {path_a} (A) vs {path_b} (B)",
+                "{:.4f}",
+            )
+        )
+        print(
+            f"\nverdict: {diff.verdict} "
+            f"({len(diff.regressions)} regressions, "
+            f"{len(diff.improvements)} improvements)"
+        )
+        return 1 if diff.regressions else 0
+
     from repro.simulator.autoscaled import AutoscaleConfig, AutoscaledSimulation
     from repro.simulator.simulation import SimulationConfig
     from repro.telemetry import (
@@ -337,6 +367,88 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.chrome_trace:
         count = write_chrome_trace(sink.traces, args.chrome_trace)
         print(f"wrote chrome trace: {args.chrome_trace} ({count} events)")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.core.model import InfeasibleSLAError
+    from repro.simulator.autoscaled import AutoscaleConfig, AutoscaledSimulation
+    from repro.simulator.simulation import SimulationConfig
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        TimeSeriesConfig,
+        TimeSeriesStore,
+        dashboard_data,
+        load_rules,
+        write_dashboard,
+    )
+
+    app = _app(args.app)
+    scheme = _make_scheme(args.scheme)
+    profiles = app.analytic_profiles(args.interference)
+    specs = app.with_workloads(
+        {s.name: args.workload for s in app.services}, sla=args.sla
+    )
+    # A throwaway allocation just for its Eq. 5 latency targets — the
+    # autoscaled run recomputes its own, but the targets table on the
+    # dashboard shows what the SLA decomposed into.
+    try:
+        allocation = scheme.scale(specs, profiles)
+    except InfeasibleSLAError as error:
+        raise SystemExit(f"infeasible setting: {error}")
+    rules = load_rules(args.rules) if args.rules else None
+    store = TimeSeriesStore(
+        TimeSeriesConfig(scrape_interval_min=args.scrape_interval),
+        rules=rules,
+    )
+    sink = TelemetrySink(
+        config=TelemetryConfig(window_min=args.window, max_traces=0),
+        timeseries=store,
+    )
+    chaos = _chaos_from_args(args, app, args.duration)
+    simulation = AutoscaledSimulation(
+        specs,
+        app.simulated,
+        scheme,
+        profiles,
+        rates={spec.name: args.workload for spec in specs},
+        config=SimulationConfig(
+            duration_min=args.duration,
+            warmup_min=min(0.5, args.duration / 3),
+            seed=args.seed,
+        ),
+        autoscale=AutoscaleConfig(interval_min=args.interval),
+        telemetry=sink,
+        chaos=chaos,
+        resilience=_resilience_from_args(args),
+    )
+    outcome = simulation.run()
+    data = dashboard_data(
+        sink,
+        outcome.simulation,
+        specs=specs,
+        meta={
+            "app": args.app,
+            "scheme": args.scheme,
+            "workload": args.workload,
+            "sla": args.sla,
+            "seed": args.seed,
+            "duration_min": args.duration,
+        },
+        targets=allocation.targets,
+        chaos=chaos,
+    )
+    write_dashboard(data, args.output)
+    summary = data["summary"]
+    print(
+        f"wrote dashboard: {args.output} "
+        f"({len(data['services'])} services, "
+        f"{summary.get('tsdb_series', 0)} series, "
+        f"{summary.get('tsdb_samples', 0)} samples, "
+        f"{summary['sla_alerts']} SLA alerts, "
+        f"{summary['rule_alerts']} rule alerts)"
+    )
     return 0
 
 
@@ -619,7 +731,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON run report to this path")
     p_rep.add_argument("--chrome-trace", default=None,
                        help="write a chrome://tracing JSON to this path")
+    p_rep.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                       help="skip the run: compare two saved JSON run "
+                            "reports (A = baseline, B = candidate) and "
+                            "print a regression verdict table; exits 1 "
+                            "on any regression")
     p_rep.set_defaults(func=cmd_report)
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="instrumented run -> self-contained HTML dashboard "
+             "(latency percentiles, SLA miss rate, breakers, container "
+             "timelines)",
+    )
+    add_common(p_dash)
+    p_dash.add_argument("--duration", type=float, default=3.0,
+                        help="simulated minutes")
+    p_dash.add_argument("--seed", type=int, default=0)
+    p_dash.add_argument("--interval", type=float, default=1.0,
+                        help="autoscaler reconcile interval (minutes)")
+    p_dash.add_argument("--window", type=float, default=1.0,
+                        help="SLA observation window (minutes)")
+    p_dash.add_argument("--scrape-interval", type=float, default=0.25,
+                        dest="scrape_interval",
+                        help="TSDB scrape cadence in simulated minutes")
+    p_dash.add_argument("--rules", default=None,
+                        help="JSON file of recording/alert rules to "
+                             "evaluate at every scrape")
+    p_dash.add_argument("--output", default="dashboard.html",
+                        help="HTML output path (default: dashboard.html)")
+    add_chaos(p_dash)
+    p_dash.set_defaults(func=cmd_dashboard)
 
     p_an = sub.add_parser(
         "analyze",

@@ -34,9 +34,26 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_run_report,
 )
+from repro.telemetry.timeseries import (
+    AlertRule,
+    RecordingRule,
+    RuleAlert,
+    RuleSet,
+    TimeSeriesConfig,
+    TimeSeriesStore,
+    load_rules,
+    parse_selector,
+)
+from repro.telemetry.diff import RunDiff, diff_run_reports
+from repro.telemetry.dashboard import (
+    dashboard_data,
+    render_dashboard,
+    write_dashboard,
+)
 
 __all__ = [
     "AlertEvent",
+    "AlertRule",
     "Counter",
     "DecisionLog",
     "DecisionRecord",
@@ -44,14 +61,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RecordingRule",
+    "RuleAlert",
+    "RuleSet",
+    "RunDiff",
     "SLAMonitor",
     "TelemetryConfig",
     "TelemetrySink",
+    "TimeSeriesConfig",
+    "TimeSeriesStore",
     "WindowStats",
     "build_run_report",
     "chrome_trace_events",
+    "dashboard_data",
     "default_latency_buckets",
+    "diff_run_reports",
+    "load_rules",
     "parse_prometheus_text",
+    "parse_selector",
+    "render_dashboard",
     "write_chrome_trace",
+    "write_dashboard",
     "write_run_report",
 ]

@@ -253,6 +253,12 @@ class TelemetrySink:
     traces: List[TraceRecord] = field(default_factory=list)
     #: One row per closed window: engine/queue health over time.
     window_series: List[Dict] = field(default_factory=list)
+    #: Optional embedded TSDB
+    #: (:class:`~repro.telemetry.timeseries.TimeSeriesStore`): scrapes
+    #: the registry / SLA monitor / engine state on its own sim-clock
+    #: cadence and evaluates recording+alert rules.  ``None`` (default)
+    #: costs nothing — no events are scheduled.
+    timeseries: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.monitor is None:
@@ -289,6 +295,8 @@ class TelemetrySink:
         duration_ms = self._duration_min * _MS_PER_MINUTE
         if self._window_ms <= duration_ms:
             simulator.events.schedule(self._window_ms, self._on_window)
+        if self.timeseries is not None:
+            self.timeseries.attach(self, simulator)
 
     def finalize(self, simulator) -> None:
         """Close remaining windows and flush the tail (post-drain)."""
@@ -298,6 +306,9 @@ class TelemetrySink:
         self.registry.gauge("events_processed").set(
             simulator.result.events_processed
         )
+        if self.timeseries is not None:
+            # After close_all: the final scrape sees every SLA window.
+            self.timeseries.finalize(simulator)
 
     # ------------------------------------------------------------------
     # Hot-path hooks (engine side guards with `telemetry is not None`)

@@ -161,6 +161,11 @@ class SLAMonitor:
         self.windows: List[WindowStats] = []
         self.alerts: List[AlertEvent] = []
         self.error_alerts: List[ErrorBudgetAlert] = []
+        #: Alerts fired by the TSDB rules engine
+        #: (:class:`~repro.telemetry.timeseries.RuleAlert` entries) —
+        #: declarative alert rules deliver through the same monitor the
+        #: built-in SLA/error-budget alerts use.
+        self.rule_alerts: List = []
         #: open window buffers: service -> window index -> raw samples (ms)
         self._open: Dict[str, Dict[int, List[float]]] = {}
         #: open error counts: service -> window index -> errored requests

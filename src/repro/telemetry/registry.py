@@ -11,9 +11,10 @@ telemetry path stays cheap and the disabled path costs nothing at all.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -183,6 +184,52 @@ class MetricsRegistry:
             report["histograms"][name] = entry
         return report
 
+    def _exposed_families(self) -> Dict[Tuple[str, str], str]:
+        """Collision-free exposed family name per (kind, registry name).
+
+        Distinct registry names can sanitize to the same Prometheus name
+        (``e2e_latency_ms.svc-a`` and ``e2e_latency_ms.svc_a`` both
+        become ``e2e_latency_ms_svc_a``), which would emit duplicate
+        ``# TYPE`` lines and silently merge series.  Walking metrics in
+        exposition order (counters, gauges, histograms; each sorted by
+        registry name), the first claimant keeps the plain sanitized
+        name and every later collider gets a stable ``_<sha1[:8]>``
+        suffix of its *original* name — deterministic regardless of
+        registration order.
+        """
+        entries: List[Tuple[str, str, str]] = (
+            [("counter", n, _prom_name(n) + "_total") for n in sorted(self.counters)]
+            + [("gauge", n, _prom_name(n)) for n in sorted(self.gauges)]
+            + [("histogram", n, _prom_name(n)) for n in sorted(self.histograms)]
+        )
+
+        def reserved(kind: str, family: str) -> List[str]:
+            # A histogram family also owns its derived sample names — a
+            # gauge literally named ``req_sum`` must not share a line
+            # name with histogram ``req``'s ``req_sum`` sample.
+            if kind == "histogram":
+                return [family, f"{family}_bucket", f"{family}_sum",
+                        f"{family}_count"]
+            return [family]
+
+        families: Dict[Tuple[str, str], str] = {}
+        claimed: Dict[str, Tuple[str, str]] = {}
+        for kind, raw, prom in entries:
+            unique = prom
+            digest = hashlib.sha1(raw.encode("utf-8")).hexdigest()
+            length = 8
+            while any(name in claimed for name in reserved(kind, unique)):
+                unique = f"{prom}_{digest[:length]}"
+                length *= 2
+                if length > len(digest):
+                    raise ValueError(
+                        f"cannot disambiguate metric name {raw!r}"
+                    )
+            for name in reserved(kind, unique):
+                claimed[name] = (kind, raw)
+            families[(kind, raw)] = unique
+        return families
+
     def expose_text(self) -> str:
         """Render every metric in Prometheus text exposition format.
 
@@ -192,19 +239,21 @@ class MetricsRegistry:
         ``promtool`` and any Prometheus scraper accept.  Registry names
         containing characters illegal in Prometheus metric names (the
         sink's ``e2e_latency_ms.<service>`` histograms) are sanitized to
-        underscores.
+        underscores; sanitized-name collisions are disambiguated
+        deterministically (see :meth:`_exposed_families`).
         """
+        families = self._exposed_families()
         lines: List[str] = []
         for name, counter in sorted(self.counters.items()):
-            prom = _prom_name(name) + "_total"
+            prom = families[("counter", name)]
             lines.append(f"# TYPE {prom} counter")
             lines.append(f"{prom} {_prom_float(counter.value)}")
         for name, gauge in sorted(self.gauges.items()):
-            prom = _prom_name(name)
+            prom = families[("gauge", name)]
             lines.append(f"# TYPE {prom} gauge")
             lines.append(f"{prom} {_prom_float(gauge.value)}")
         for name, hist in sorted(self.histograms.items()):
-            prom = _prom_name(name)
+            prom = families[("histogram", name)]
             lines.append(f"# TYPE {prom} histogram")
             cumulative = 0
             for bound, count in zip(hist.bounds, hist.counts):
@@ -253,12 +302,20 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
                 entry["buckets"][float(labels[4:-1])] = value
         else:
             base = name_part
+            declared = types.get(base)
+            if declared is not None and declared != "histogram":
+                # A standalone counter/gauge whose name literally ends
+                # in _sum/_count: its own exact # TYPE declaration wins
+                # over suffix-stripping into an unrelated histogram
+                # sharing the prefix.
+                metrics[base] = {"type": declared, "value": value}
+                continue
             for suffix in ("_sum", "_count"):
-                if base.endswith(suffix) and base[: -len(suffix)] in types:
-                    metric = base[: -len(suffix)]
+                prefix = base[: -len(suffix)] if base.endswith(suffix) else None
+                if prefix and types.get(prefix) == "histogram":
                     entry = metrics.setdefault(
-                        metric,
-                        {"type": types.get(metric, "histogram"), "buckets": {}},
+                        prefix,
+                        {"type": "histogram", "buckets": {}},
                     )
                     entry[suffix[1:]] = value
                     break

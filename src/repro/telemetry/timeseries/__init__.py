@@ -1,0 +1,55 @@
+"""Embedded deterministic time-series database for the telemetry layer.
+
+See :mod:`repro.telemetry.timeseries.store` for the store and scrape
+loop, :mod:`~repro.telemetry.timeseries.query` for selectors and range
+functions, and :mod:`~repro.telemetry.timeseries.rules` for the
+recording/alerting rules engine.
+"""
+
+from repro.telemetry.timeseries.query import (
+    Expr,
+    Matcher,
+    Selector,
+    evaluate,
+    parse_expr,
+    parse_selector,
+    range_functions,
+)
+from repro.telemetry.timeseries.rules import (
+    AlertRule,
+    RecordingRule,
+    RuleAlert,
+    RuleEngine,
+    RuleSet,
+    load_rules,
+)
+from repro.telemetry.timeseries.store import (
+    Bin,
+    Series,
+    TimeSeriesConfig,
+    TimeSeriesStore,
+    parse_metric_name,
+    series_key,
+)
+
+__all__ = [
+    "AlertRule",
+    "Bin",
+    "Expr",
+    "Matcher",
+    "RecordingRule",
+    "RuleAlert",
+    "RuleEngine",
+    "RuleSet",
+    "Selector",
+    "Series",
+    "TimeSeriesConfig",
+    "TimeSeriesStore",
+    "evaluate",
+    "load_rules",
+    "parse_expr",
+    "parse_metric_name",
+    "parse_selector",
+    "range_functions",
+    "series_key",
+]

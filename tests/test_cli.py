@@ -43,6 +43,32 @@ class TestParser:
         args = build_parser().parse_args(["report", "--sampling-rate", "0.5"])
         assert args.sampling == 0.5
 
+    def test_report_diff_takes_two_paths(self):
+        args = build_parser().parse_args(["report", "--diff", "a.json", "b.json"])
+        assert args.diff == ["a.json", "b.json"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--diff", "only-one.json"])
+
+    def test_dashboard_defaults(self):
+        args = build_parser().parse_args(["dashboard"])
+        assert args.app == "social-network"
+        assert args.duration == 3.0
+        assert args.window == 1.0
+        assert args.scrape_interval == 0.25
+        assert args.rules is None
+        assert args.output == "dashboard.html"
+        assert args.chaos is False
+        assert args.resilience is False
+
+    def test_dashboard_accepts_chaos_and_rules(self):
+        args = build_parser().parse_args(
+            ["dashboard", "--chaos", "--resilience", "--rules", "r.json",
+             "--scrape-interval", "0.1"]
+        )
+        assert args.chaos and args.resilience
+        assert args.rules == "r.json"
+        assert args.scrape_interval == 0.1
+
     def test_analyze_defaults(self):
         args = build_parser().parse_args(["analyze"])
         assert args.app == "social-network"

@@ -171,6 +171,56 @@ class TestChaosDeterminism:
         )
 
 
+class TestTimeSeriesNeutrality:
+    """The embedded TSDB only *reads* engine state on scrape ticks — an
+    attached store must not shift a single RNG draw or event, so the
+    pinned golden fingerprints hold bit-for-bit with scraping enabled."""
+
+    def run_shared_with_tsdb(self):
+        from repro.telemetry import (
+            TelemetryConfig,
+            TelemetrySink,
+            TimeSeriesConfig,
+            TimeSeriesStore,
+        )
+
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        sink = TelemetrySink(
+            config=TelemetryConfig(window_min=0.25, spans=False, max_traces=0),
+            timeseries=store,
+        )
+        s1 = ServiceSpec(
+            "s1",
+            DependencyGraph("s1", call("F", stages=[[call("P"), call("Q")]])),
+            0.0,
+            300.0,
+        )
+        s2 = ServiceSpec(
+            "s2", DependencyGraph("s2", call("G", stages=[[call("P")]])), 0.0, 300.0
+        )
+        result = ClusterSimulator(
+            [s1, s2],
+            {
+                "F": SimulatedMicroservice("F", 4.0, 2),
+                "G": SimulatedMicroservice("G", 6.0, 2),
+                "P": SimulatedMicroservice("P", 3.0, 4),
+                "Q": SimulatedMicroservice("Q", 5.0, 2),
+            },
+            containers={"F": 2, "G": 2, "P": 2, "Q": 2},
+            rates={"s1": 9_000.0, "s2": 6_000.0},
+            config=SimulationConfig(duration_min=0.5, warmup_min=0.1, seed=42),
+            telemetry=sink,
+        ).run()
+        return store, result
+
+    def test_tsdb_scraping_keeps_golden_fingerprint(self):
+        store, result = self.run_shared_with_tsdb()
+        assert store.scrapes > 0 and store.total_samples > 0
+        assert fingerprint(result, ["s1", "s2"], ["F", "G", "P", "Q"]) == (
+            GOLDEN_SHARED
+        )
+
+
 class TestParallelEqualsSerial:
     def test_static_sweep_rows_identical(self):
         app = social_network()

@@ -83,6 +83,23 @@ class TestRunnerSmoke:
             > 0
         )
 
+    def test_checked_in_report_tsdb_disabled_path(self):
+        """The scrape-off hot path costs nothing measurable.
+
+        With no telemetry sink attached there is no TSDB anywhere near
+        the engine, so the disabled figure must sit within 5 % of the
+        plain saturation number from the same suite run — the tentpole's
+        "disabled path stays free" acceptance gate.  The enabled figure
+        must come from a run that actually scraped.
+        """
+        report = json.loads((REPO_ROOT / "BENCH_des.json").read_text())
+        tsdb = report["benchmarks"]["tsdb_overhead"]
+        saturation = report["benchmarks"]["saturation"]["events_per_sec"]
+        assert tsdb["disabled_events_per_sec"] >= 0.95 * saturation
+        assert tsdb["enabled_events_per_sec"] > 0
+        assert tsdb["scrapes"] > 0
+        assert tsdb["samples"] > tsdb["scrapes"]
+
 
 @pytest.mark.perf
 class TestMicroTimingGuard:
@@ -139,3 +156,17 @@ class TestMicroTimingGuard:
         assert report["disabled_events_per_sec"] > 0
         assert report["enabled_events_per_sec"] >= 100_000
         assert report["overhead_pct"] < 80.0
+
+    def test_tsdb_overhead_is_bounded(self):
+        """Aggressive scraping slows the engine, but boundedly.
+
+        The enabled side runs a full sink (windows, registry, monitor)
+        plus a 0.05-minute scrape cadence with rules — the window ticks
+        dominate, as in ``telemetry_overhead``; the guard trips on a
+        runaway per-scrape or per-sample cost, not the known price.
+        """
+        report = runner.bench_tsdb_overhead(duration_min=0.5, trials=2)
+        assert report["disabled_events_per_sec"] > 0
+        assert report["enabled_events_per_sec"] >= 100_000
+        assert report["overhead_pct"] < 80.0
+        assert report["scrapes"] >= 5

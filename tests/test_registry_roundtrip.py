@@ -1,0 +1,150 @@
+"""Prometheus exposition round-trips and SLA window boundary edges.
+
+Regression coverage for two exposition bugs:
+
+* distinct registry names sanitizing to the same Prometheus name
+  (``e2e_latency_ms.svc-a`` vs ``e2e_latency_ms.svc_a``) silently merged
+  series — now the later claimant gets a deterministic digest suffix;
+* a standalone counter/gauge whose name literally ends in ``_sum`` or
+  ``_count`` was swallowed into an unrelated histogram sharing the
+  prefix on parse — now an exact ``# TYPE`` declaration wins.
+"""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, SLAMonitor
+from repro.telemetry.registry import parse_prometheus_text
+
+
+class TestNameCollisions:
+    def test_sanitized_collision_gets_deterministic_suffix(self):
+        registry = MetricsRegistry(latency_bounds=[1.0, 10.0])
+        registry.histogram("e2e_latency_ms.svc-a").observe(0.5)
+        registry.histogram("e2e_latency_ms.svc_a").observe(5.0)
+        text = registry.expose_text()
+        # exactly one plain family plus one suffixed family — no merge
+        assert text.count("# TYPE e2e_latency_ms_svc_a histogram") == 1
+        assert text.count("# TYPE e2e_latency_ms_svc_a_") == 1
+        parsed = parse_prometheus_text(text)
+        hists = [k for k in parsed if k.startswith("e2e_latency_ms_svc_a")]
+        assert len(hists) == 2
+        for name in hists:
+            assert parsed[name]["count"] == 1  # one observation each
+
+    def test_collision_resolution_is_registration_order_independent(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("x.a-b").inc()
+        first.counter("x.a_b").inc(2)
+        second.counter("x.a_b").inc(2)
+        second.counter("x.a-b").inc()
+        assert first.expose_text() == second.expose_text()
+
+    def test_cross_kind_collision_also_disambiguated(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue-depth").set(3)
+        registry.gauge("queue_depth").set(7)
+        parsed = parse_prometheus_text(registry.expose_text())
+        values = sorted(
+            entry["value"]
+            for name, entry in parsed.items()
+            if name.startswith("queue_depth")
+        )
+        assert values == [3.0, 7.0]
+
+
+class TestStandaloneSumCountMetrics:
+    def test_counter_named_like_histogram_suffix_survives(self):
+        registry = MetricsRegistry(latency_bounds=[1.0, 10.0])
+        registry.histogram("req").observe(0.5)
+        # names that would suffix-strip into the "req" histogram
+        registry.counter("req_count").inc(42)
+        registry.gauge("req_sum").set(7.5)
+        parsed = parse_prometheus_text(registry.expose_text())
+        # the gauge claimed the literal name "req_sum" first, so the
+        # histogram's whole family moved to a digest-suffixed name
+        [hist_name] = [
+            k for k, v in parsed.items() if v["type"] == "histogram"
+        ]
+        assert hist_name.startswith("req_")
+        assert parsed[hist_name]["count"] == 1
+        assert parsed[hist_name]["sum"] == 0.5
+        # counters keep their _total suffix in the exposition
+        assert parsed["req_count_total"] == {"type": "counter", "value": 42.0}
+        assert parsed["req_sum"] == {"type": "gauge", "value": 7.5}
+
+    def test_undeclared_sum_suffix_is_not_merged(self):
+        # _sum line with no histogram TYPE declared for the prefix stays
+        # a standalone untyped metric
+        parsed = parse_prometheus_text("foo_sum 3.5\n")
+        assert parsed == {"foo_sum": {"type": "untyped", "value": 3.5}}
+
+
+class TestFullRoundTrip:
+    def test_all_metric_kinds_round_trip(self):
+        registry = MetricsRegistry(latency_bounds=[1.0, 5.0, 25.0])
+        registry.counter("events").inc(10)
+        registry.gauge("depth").set(2.5)
+        hist = registry.histogram("lat.svc")
+        for value in (0.5, 3.0, 100.0):  # includes an overflow sample
+            hist.observe(value)
+        registry.histogram("empty.hist")  # zero observations
+        parsed = parse_prometheus_text(registry.expose_text())
+
+        assert parsed["events_total"] == {"type": "counter", "value": 10.0}
+        assert parsed["depth"] == {"type": "gauge", "value": 2.5}
+        lat = parsed["lat_svc"]
+        assert lat["type"] == "histogram"
+        assert lat["count"] == 3 and lat["sum"] == pytest.approx(103.5)
+        # cumulative buckets, ending at the mandatory +Inf
+        assert lat["buckets"][1.0] == 1
+        assert lat["buckets"][5.0] == 2
+        assert lat["buckets"][25.0] == 2
+        assert lat["buckets"][float("inf")] == 3
+        empty = parsed["empty_hist"]
+        assert empty["count"] == 0 and empty["sum"] == 0.0
+        assert all(v == 0 for v in empty["buckets"].values())
+
+    def test_inf_bucket_rendering(self):
+        registry = MetricsRegistry(latency_bounds=[1.0])
+        registry.histogram("h").observe(0.5)
+        text = registry.expose_text()
+        assert 'h_bucket{le="+Inf"} 1' in text
+
+
+class TestWindowBoundaries:
+    """A sample landing exactly on a window edge buckets identically in
+    the live monitor and the post-hoc window API (both floor-divide)."""
+
+    def test_boundary_sample_buckets_into_next_window(self):
+        monitor = SLAMonitor(slas={"svc": 10.0})
+        window_min = 0.5
+        for minute, latency in [(0.49, 5.0), (0.5, 20.0), (0.99, 5.0)]:
+            monitor.observe("svc", int(minute / window_min), latency)
+        closed = monitor.close_all(window_min)
+        by_index = {w.window: w for w in closed}
+        assert by_index[0].count == 1 and by_index[0].violations == 0
+        # the t=0.5 sample belongs to window 1, not window 0
+        assert by_index[1].count == 2 and by_index[1].violations == 1
+        assert by_index[1].start_min == 0.5
+
+    def test_close_windows_is_idempotent_per_window(self):
+        monitor = SLAMonitor(slas={"svc": 10.0})
+        monitor.observe("svc", 0, 1.0)
+        monitor.observe("svc", 1, 1.0)
+        first = monitor.close_windows(before=1, window_min=1.0)
+        assert [w.window for w in first] == [0]
+        again = monitor.close_windows(before=1, window_min=1.0)
+        assert again == []  # window 0 is gone; nothing reopens
+        rest = monitor.close_all(1.0)
+        assert [w.window for w in rest] == [1]
+        assert [w.window for w in monitor.windows] == [0, 1]
+
+    def test_errors_only_window_closes_clean(self):
+        monitor = SLAMonitor(slas={"svc": 10.0}, error_budget=0.1)
+        monitor.observe_error("svc", 3)
+        [window] = monitor.close_all(0.25)
+        assert window.count == 0 and window.errors == 1
+        assert window.p95_ms == 0.0
+        assert window.error_rate == 1.0
+        assert monitor.error_alerts  # budget exceeded
+        assert not monitor.alerts  # no latency alert without samples
