@@ -38,6 +38,7 @@ RATE_METRICS = [
     ("analysis_throughput", "critical_path_traces_per_sec"),
     ("resilience_overhead", "disabled_events_per_sec"),
     ("tsdb_overhead", "disabled_events_per_sec"),
+    ("serve_overhead", "disabled_events_per_sec"),
 ]
 
 #: (benchmark, flag) pairs that must be true whenever present.

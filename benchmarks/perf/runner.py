@@ -756,6 +756,112 @@ def bench_tsdb_overhead(
     }
 
 
+def bench_serve_overhead(
+    duration_min: float = 1.0, seed: int = 7, trials: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Saturation scenario, observability server absent vs being polled.
+
+    The disabled run is the bare engine — no sink, no server — so its
+    events/sec must track ``bench_saturation`` (gated within 5 % in
+    ``test_perf_bench`` and ``compare.py``): a run that never opts in
+    pays nothing for the serving layer existing.  The enabled run
+    attaches a sink + TSDB, starts an :class:`ObservabilityServer`, and
+    hammers it from a client thread (``/metrics`` and ``/api/query``
+    alternating, ~100 req/s) for the whole run — the cost of being
+    scraped aggressively while simulating.  Best-of-N on both sides.
+    """
+    import threading
+    import urllib.request
+
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        TimeSeriesConfig,
+        TimeSeriesStore,
+    )
+    from repro.telemetry.serve import ObservabilityServer, RunSource
+
+    if quick:
+        duration_min, trials = 0.5, 2
+    graph = DependencyGraph("svc", call("B"))
+    spec = ServiceSpec("svc", graph, workload=0.0, sla=100.0)
+
+    def run_once(enabled):
+        sink = None
+        if enabled:
+            sink = TelemetrySink(
+                config=TelemetryConfig(
+                    window_min=0.25, spans=False, max_traces=0
+                ),
+                timeseries=TimeSeriesStore(
+                    TimeSeriesConfig(scrape_interval_min=0.05)
+                ),
+            )
+        simulator = ClusterSimulator(
+            [spec],
+            {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+            containers={"B": 1},
+            rates={"svc": 45_000.0},
+            config=SimulationConfig(
+                duration_min=duration_min, warmup_min=0.25, seed=seed
+            ),
+            telemetry=sink,
+        )
+        server = client = stop = None
+        served = [0]
+        if enabled:
+            source = RunSource(sink, simulator=simulator, specs=[spec])
+            server = ObservabilityServer(source).start()
+            stop = threading.Event()
+            urls = [
+                server.url + "/metrics",
+                server.url + "/api/query?expr=queue_depth",
+            ]
+
+            def hammer():
+                i = 0
+                while not stop.is_set():
+                    try:
+                        with urllib.request.urlopen(
+                            urls[i % len(urls)], timeout=5
+                        ) as response:
+                            response.read()
+                        served[0] += 1
+                    except OSError:
+                        pass
+                    i += 1
+                    stop.wait(0.01)
+
+            client = threading.Thread(target=hammer, daemon=True)
+            client.start()
+        start = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - start
+        if enabled:
+            stop.set()
+            client.join(timeout=10)
+            server.stop()
+        return wall, result, served[0]
+
+    disabled_runs = [run_once(False) for _ in range(max(1, trials))]
+    enabled_runs = [run_once(True) for _ in range(max(1, trials))]
+    disabled_wall, disabled_result, _ = min(disabled_runs, key=lambda p: p[0])
+    enabled_wall, enabled_result, served = min(
+        enabled_runs, key=lambda p: p[0]
+    )
+    disabled_eps = disabled_result.events_processed / disabled_wall
+    enabled_eps = enabled_result.events_processed / enabled_wall
+    return {
+        "disabled_events_per_sec": round(disabled_eps, 1),
+        "enabled_events_per_sec": round(enabled_eps, 1),
+        "overhead_pct": round((1.0 - enabled_eps / disabled_eps) * 100.0, 2),
+        "disabled_wall_s": round(disabled_wall, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+        "requests_served": served,
+    }
+
+
 BENCHMARKS = {
     "saturation": bench_saturation,
     "static_cell": bench_static_cell,
@@ -767,6 +873,7 @@ BENCHMARKS = {
     "analysis_throughput": bench_analysis_throughput,
     "resilience_overhead": bench_resilience_overhead,
     "tsdb_overhead": bench_tsdb_overhead,
+    "serve_overhead": bench_serve_overhead,
 }
 
 

@@ -31,13 +31,26 @@ Mirrors the paper artifact's shell scripts (Appendix B) as subcommands:
   crashes, error windows, latency spikes) twice — observation-only vs
   the full retry/timeout/breaker/admission stack — and compare SLA miss
   rates; ``--controlled`` runs the two-tenant resilience sweep instead.
+* ``serve`` — put a saved JSON run report behind the live observability
+  plane (``/``, ``/metrics``, ``/api/*``) without re-running anything.
+* ``top`` — terminal live view of a serving run: p95/p99 vs SLA,
+  per-service miss rate, breaker states, container counts, refreshed
+  from the plane's ``/api/summary``.
 
 ``simulate``, ``compare``, ``report``, and ``analyze`` all accept
 ``--sampling-rate`` (head sampling) and ``--tail-threshold`` (tail-based
 sampling: keep full traces only for requests slower than the threshold,
 plus a small uniform floor).  ``simulate`` and ``compare`` also accept
 ``--chaos`` (seeded random fault schedule) and ``--resilience`` (attach
-the default policy bundle).
+the default policy bundle).  ``simulate``, ``compare``, and ``chaos``
+accept ``--serve [PORT]`` to attach the in-process observability HTTP
+server to the run; the global ``--log-format json`` switches stderr to
+structured JSON lines sharing ``run_id``/``actor`` correlation fields
+between scaling decisions and the server's access log.
+
+Exit codes are uniform across subcommands: 0 success, 1 regression
+verdict (``report --diff`` only), 2 usage error (bad argument values —
+the same code argparse uses for unparseable flags), 3 runtime failure.
 """
 
 from __future__ import annotations
@@ -68,6 +81,22 @@ APPLICATIONS = {
     "hotel-reservation": hotel_reservation,
 }
 
+EXIT_USAGE = 2
+EXIT_RUNTIME = 3
+
+_EXIT_CODE_EPILOG = (
+    "exit codes: 0 success · 1 regression verdict (report --diff only) · "
+    "2 usage error (bad argument values) · 3 runtime failure"
+)
+
+
+class CLIError(Exception):
+    """Runtime failure — ``main`` maps it to exit code 3."""
+
+
+class UsageError(CLIError):
+    """Bad argument values — exit code 2, matching argparse's own."""
+
 
 def _make_scheme(name: str):
     schemes = {
@@ -78,7 +107,7 @@ def _make_scheme(name: str):
         "firm": Firm,
     }
     if name not in schemes:
-        raise SystemExit(
+        raise UsageError(
             f"unknown scheme {name!r}; choose from {sorted(schemes)}"
         )
     return schemes[name]()
@@ -86,10 +115,98 @@ def _make_scheme(name: str):
 
 def _app(name: str):
     if name not in APPLICATIONS:
-        raise SystemExit(
+        raise UsageError(
             f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
         )
     return APPLICATIONS[name]()
+
+
+def _logger_for(args: argparse.Namespace):
+    """A StructuredLogger under ``--log-format json``, else ``None``."""
+    if getattr(args, "log_format", "text") != "json":
+        return None
+    from repro.telemetry import StructuredLogger
+
+    return StructuredLogger(
+        fmt="json",
+        run_id=f"{args.command}-seed{getattr(args, 'seed', 0)}",
+    )
+
+
+class _ServeSession:
+    """Lifecycle of one ``--serve`` attachment: attach → run → linger.
+
+    ``attach`` is the ``on_simulator`` callback the experiment harness
+    invokes with the constructed simulator *before* the event loop, so
+    every endpoint is live while the run is in flight; ``finish`` marks
+    the source complete and blocks until a client POSTs ``/shutdown``
+    (or Ctrl-C).
+    """
+
+    def __init__(
+        self, args, meta, logger=None, specs=None, targets=None, chaos=None
+    ):
+        self.port = getattr(args, "serve", None)
+        self.meta = meta
+        self.logger = logger
+        self.specs = specs
+        self.targets = targets
+        self.chaos = chaos
+        self.server = None
+        self.source = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.port is not None
+
+    def attach(self, simulator) -> None:
+        from repro.telemetry.serve import RunSource
+
+        sink = simulator._telemetry
+        if sink is None:
+            raise CLIError("--serve needs a telemetry sink on the run")
+        if self.logger is not None:
+            sink.decisions.logger = self.logger
+        self.source = RunSource(
+            sink,
+            simulator=simulator,
+            specs=self.specs
+            if self.specs is not None
+            else getattr(simulator, "services", None),
+            meta=self.meta,
+            targets=self.targets,
+            chaos=self.chaos,
+        )
+        self._start()
+
+    def serve_source(self, source) -> None:
+        """Serve a pre-built source (sweeps with no single simulator)."""
+        self.source = source
+        self._start()
+
+    def _start(self) -> None:
+        from repro.telemetry.serve import ObservabilityServer
+
+        self.server = ObservabilityServer(
+            self.source, port=self.port, logger=self.logger
+        )
+        self.server.start()
+        print(
+            f"observability plane: {self.server.url} "
+            f"(GET /, /metrics, /api/summary, /events; "
+            f"POST /shutdown to stop)",
+            file=sys.stderr,
+        )
+
+    def finish(self, result=None) -> None:
+        if self.server is None:
+            return
+        self.source.mark_complete(result)
+        print(
+            "run complete — serving until POST /shutdown (or Ctrl-C)",
+            file=sys.stderr,
+        )
+        self.server.wait_for_shutdown()
 
 
 def _chaos_from_args(args: argparse.Namespace, app, duration_min: float):
@@ -169,8 +286,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             name: [args.interference] * count
             for name, count in allocation.containers.items()
         }
+    serving = getattr(args, "serve", None) is not None
     sink = None
-    if args.sampling_rate < 1.0 or args.tail_threshold is not None:
+    if serving or args.sampling_rate < 1.0 or args.tail_threshold is not None:
         from repro.telemetry import TelemetryConfig, TelemetrySink
 
         sink = TelemetrySink(
@@ -179,8 +297,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 tail_threshold_ms=args.tail_threshold,
                 seed=args.seed,
                 max_traces=0,
+                # Serving wants windows/scrapes at a live-view cadence.
+                window_min=0.25 if serving else 1.0,
             )
         )
+    logger = _logger_for(args)
+    if sink is not None and logger is not None:
+        sink.decisions.logger = logger
+    if serving:
+        from repro.telemetry import TimeSeriesConfig, TimeSeriesStore
+
+        sink.timeseries = TimeSeriesStore(
+            TimeSeriesConfig(scrape_interval_min=0.1)
+        )
+    chaos = _chaos_from_args(args, app, args.duration)
+    session = _ServeSession(
+        args,
+        meta={
+            "app": args.app,
+            "scheme": args.scheme,
+            "workload": args.workload,
+            "sla": args.sla,
+            "seed": args.seed,
+            "duration_min": args.duration,
+        },
+        logger=logger,
+        specs=specs,
+        targets=allocation.targets,
+        chaos=chaos,
+    )
     result = evaluate_allocation(
         specs,
         app.simulated,
@@ -190,8 +335,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         container_multipliers=multipliers,
         telemetry=sink,
-        chaos=_chaos_from_args(args, app, args.duration),
+        chaos=chaos,
         resilience=_resilience_from_args(args),
+        on_simulator=session.attach if session.enabled else None,
     )
     rows = []
     for spec in specs:
@@ -227,12 +373,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"\nTraces: buffered={sink.sampled_traces} "
             f"kept={sink.kept_traces} tail_dropped={sink.tail_dropped}"
         )
+    session.finish(result)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     app = _app(args.app)
     schemes = [ErmsScaler(), ErmsScaler(use_priority=False), GrandSLAm(), Rhythm(), Firm()]
+    session = _ServeSession(
+        args,
+        meta={
+            "app": args.app,
+            "mode": "sweep-aggregate",
+            "seed": args.seed,
+        },
+        logger=_logger_for(args),
+    )
+    if session.enabled:
+        # Sweep cells run in worker processes, so there is no single
+        # simulator to attach to; serve an aggregate source whose
+        # registry carries sweep-level gauges instead.  Every endpoint
+        # still answers (with empty series/alert payloads).
+        from repro.telemetry import TelemetryConfig, TelemetrySink
+        from repro.telemetry.serve import RunSource
+
+        agg_sink = TelemetrySink(config=TelemetryConfig(max_traces=0))
+        agg_sink.registry.gauge("sweep_cells_total").set(
+            len(args.workloads) * len(args.slas) * len(schemes)
+        )
+        session.serve_source(RunSource(agg_sink, meta=session.meta))
     with _run_pool(args.workers) as pool:
         sweep = run_static_sweep(
             app,
@@ -258,6 +427,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
             row["avg_violation"] = sweep.average_violation(scheme)
             row["avg_p95_ms"] = sweep.average_p95(scheme)
         rows.append(row)
+    if session.enabled:
+        registry = session.source.sink.registry
+        registry.gauge("sweep_rows").set(len(sweep.rows))
+        for row in rows:
+            registry.gauge(
+                f"sweep_avg_containers.{row['scheme']}"
+            ).set(row["avg_containers"])
     print(format_table(rows, f"Static sweep on {app.name}"))
     sampled = sum(r.get("traces_sampled") or 0 for r in sweep.rows)
     if sampled:
@@ -267,6 +443,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"\nTraces across cells: buffered={sampled} kept={kept} "
             f"tail_dropped={dropped}"
         )
+    session.finish()
     return 0
 
 
@@ -396,7 +573,7 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     try:
         allocation = scheme.scale(specs, profiles)
     except InfeasibleSLAError as error:
-        raise SystemExit(f"infeasible setting: {error}")
+        raise CLIError(f"infeasible setting: {error}")
     rules = load_rules(args.rules) if args.rules else None
     store = TimeSeriesStore(
         TimeSeriesConfig(scrape_interval_min=args.scrape_interval),
@@ -478,7 +655,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     try:
         allocation = scheme.scale(specs, profiles)
     except InfeasibleSLAError as error:
-        raise SystemExit(f"infeasible setting: {error}")
+        raise CLIError(f"infeasible setting: {error}")
     sink = TelemetrySink(
         config=TelemetryConfig(
             window_min=args.window,
@@ -559,6 +736,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     scheme = _make_scheme(args.scheme)
     args.chaos = True  # the subcommand always injects its schedule
     chaos = _chaos_from_args(args, app, args.duration)
+    session = _ServeSession(
+        args,
+        meta={
+            "app": args.app,
+            "scheme": args.scheme,
+            "workload": args.workload,
+            "sla": args.sla,
+            "seed": args.seed,
+            "duration_min": args.duration,
+            "mode": "chaos-resilient",
+        },
+        logger=_logger_for(args),
+        chaos=chaos,
+    )
     comparison = run_chaos_comparison(
         app,
         scheme,
@@ -567,6 +758,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         chaos=chaos,
         duration_min=args.duration,
         seed=args.seed,
+        on_simulator=session.attach if session.enabled else None,
     )
     for mode in ("no-policy", "resilient"):
         rows = [
@@ -591,6 +783,55 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     if len(faults) > args.max_decisions:
         print(f"  ... and {len(faults) - args.max_decisions} more")
+    session.finish()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.telemetry.serve import ObservabilityServer, load_replay_source
+
+    try:
+        source = load_replay_source(args.replay)
+    except OSError as error:
+        raise UsageError(f"cannot read replay report: {error}")
+    except ValueError as error:
+        raise CLIError(f"invalid run report {args.replay!r}: {error}")
+    server = ObservabilityServer(
+        source, host=args.host, port=args.port, logger=_logger_for(args)
+    ).start()
+    print(f"serving replay of {args.replay}: {server.url}")
+    print(
+        f"POST {server.url}/shutdown (or Ctrl-C) to stop", file=sys.stderr
+    )
+    server.wait_for_shutdown()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry.serve import render_top
+
+    url = args.url.rstrip("/") + "/api/summary"
+    clear = sys.stdout.isatty()  # plain appending frames when piped
+    frames = 0
+    try:
+        while args.frames is None or frames < args.frames:
+            if frames:
+                time.sleep(args.interval)
+            try:
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    summary = json.loads(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError) as error:
+                raise CLIError(f"cannot fetch {url}: {error}")
+            sys.stdout.write(render_top(summary, clear=clear))
+            sys.stdout.flush()
+            frames += 1
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -598,6 +839,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Erms (ASPLOS'23) reproduction command-line interface",
+        epilog=_EXIT_CODE_EPILOG,
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        dest="log_format",
+        help="stderr logging: text (default) or structured JSON lines "
+             "with run_id/actor correlation shared by scaling decisions "
+             "and the observability server's access log",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -644,17 +895,28 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="chaos_restart_ms",
                        help="crashed containers restart after this long")
 
+    def add_serve(p):
+        p.add_argument("--serve", nargs="?", const=0, default=None,
+                       type=int, metavar="PORT",
+                       help="attach the live observability HTTP plane "
+                            "(/, /metrics, /api/*, /events SSE) to the "
+                            "run; PORT omitted or 0 binds an ephemeral "
+                            "port, printed on stderr; the command then "
+                            "serves until POST /shutdown")
+
     p_scale = sub.add_parser("scale", help="compute an allocation")
     add_common(p_scale)
     p_scale.set_defaults(func=cmd_scale)
 
-    p_sim = sub.add_parser("simulate", help="allocate, then replay on the simulator")
+    p_sim = sub.add_parser("simulate", help="allocate, then replay on the simulator",
+                           epilog=_EXIT_CODE_EPILOG)
     add_common(p_sim)
     p_sim.add_argument("--duration", type=float, default=1.5,
                        help="simulated minutes")
     p_sim.add_argument("--seed", type=int, default=0)
     add_sampling(p_sim)
     add_chaos(p_sim)
+    add_serve(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="static sweep across all schemes")
@@ -672,6 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes for the replays (0 = one per CPU)")
     add_sampling(p_cmp)
     add_chaos(p_cmp)
+    add_serve(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_chaos = sub.add_parser(
@@ -692,6 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="max_decisions",
                          help="fault/policy decision records to print")
     add_chaos(p_chaos, with_toggle=False)
+    add_serve(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser("trace-sim", help="Taobao-scale synthetic evaluation")
@@ -706,6 +970,9 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="autoscaled run with live telemetry: SLA windows, alerts, "
              "scaling decisions",
+        epilog="exit codes: 0 success (or --diff with no regressions) · "
+               "1 regression verdict from --diff · 2 usage error · "
+               "3 runtime failure",
     )
     add_common(p_rep)
     p_rep.add_argument("--duration", type=float, default=3.0,
@@ -785,13 +1052,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the JSON run report (with analysis) here")
     p_an.set_defaults(func=cmd_analyze)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a saved JSON run report through the observability "
+             "plane (replay mode: /, /metrics, /api/*)",
+        epilog=_EXIT_CODE_EPILOG,
+    )
+    p_srv.add_argument("--replay", required=True, metavar="REPORT",
+                       help="run-report JSON from `repro report --output` "
+                            "or `repro analyze --output`")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8000,
+                       help="bind port (default: 8000; 0 = ephemeral)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="terminal live view of a serving run: p95/p99 vs SLA, "
+             "per-service miss rate, breaker states, container counts",
+        epilog=_EXIT_CODE_EPILOG,
+    )
+    p_top.add_argument("--url", default="http://127.0.0.1:8000",
+                       help="base URL of a running observability plane "
+                            "(default: http://127.0.0.1:8000)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes (default: 1)")
+    p_top.add_argument("--frames", type=int, default=None,
+                       help="render this many frames then exit "
+                            "(default: run until Ctrl-C)")
+    p_top.set_defaults(func=cmd_top)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UsageError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return EXIT_RUNTIME
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ def evaluate_allocation(
     telemetry=None,
     chaos=None,
     resilience=None,
+    on_simulator=None,
 ) -> SimulationResult:
     """Run one allocation on the simulator and return the measurements.
 
@@ -49,6 +50,8 @@ def evaluate_allocation(
     pass a :class:`~repro.resilience.ChaosSchedule` /
     :class:`~repro.resilience.ResiliencePolicies` as ``chaos`` /
     ``resilience`` to evaluate the allocation under faults.
+    ``on_simulator`` is called with the constructed simulator before
+    ``run()`` — the observability server attaches here.
     """
     scheduling = "priority" if allocation.priorities else "fcfs"
     config = SimulationConfig(
@@ -73,6 +76,8 @@ def evaluate_allocation(
         chaos=chaos,
         resilience=resilience,
     )
+    if on_simulator is not None:
+        on_simulator(simulator)
     return simulator.run()
 
 

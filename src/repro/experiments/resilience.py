@@ -321,6 +321,7 @@ def run_chaos_comparison(
     duration_min: float = 2.0,
     warmup_min: float = 0.25,
     seed: int = 0,
+    on_simulator=None,
 ) -> ChaosComparison:
     """Scale an application, then replay one fault schedule on/off.
 
@@ -330,7 +331,10 @@ def run_chaos_comparison(
     (:meth:`ResiliencePolicies.disabled`) and once with ``policies``
     (the default bundle unless given).  Both runs attach a telemetry
     sink so every injected fault and policy decision lands in the
-    returned decision records.
+    returned decision records.  ``on_simulator`` (if given) is invoked
+    with the constructed simulator of the *resilient* run — the
+    ``--serve`` observability plane attaches to the run whose breaker /
+    chaos activity is worth watching live.
     """
     from repro.telemetry import TelemetryConfig, TelemetrySink
 
@@ -363,6 +367,7 @@ def run_chaos_comparison(
             telemetry=sink,
             chaos=chaos,
             resilience=bundle,
+            on_simulator=on_simulator if mode == "resilient" else None,
         )
         comparison.rows[mode] = _service_rows(result, specs)
         comparison.stats[mode] = result.resilience or {}

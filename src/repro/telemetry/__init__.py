@@ -9,6 +9,12 @@ decision audit log, and exporters (chrome://tracing timelines, JSON run
 reports).  Attach a :class:`TelemetrySink` via the simulator's
 ``telemetry=`` parameter; a run without one pays a single null-check
 branch per event.
+
+:mod:`repro.telemetry.serve` adds the *interactive* half: an in-process
+HTTP observability plane (``/metrics`` scrapes with exemplars, label
+queries over the embedded TSDB, SSE event streaming, a live dashboard,
+and replay of archived run reports) attached to a run via the CLI's
+``--serve`` flag or :class:`ObservabilityServer` directly.
 """
 
 from repro.telemetry.hooks import TelemetryConfig, TelemetrySink
@@ -46,9 +52,19 @@ from repro.telemetry.timeseries import (
 )
 from repro.telemetry.diff import RunDiff, diff_run_reports
 from repro.telemetry.dashboard import (
+    dashboard_css,
     dashboard_data,
     render_dashboard,
+    render_dashboard_body,
     write_dashboard,
+)
+from repro.telemetry.logging import StructuredLogger
+from repro.telemetry.serve import (
+    ObservabilityServer,
+    ReplaySource,
+    RunSource,
+    load_replay_source,
+    render_top,
 )
 
 __all__ = [
@@ -61,11 +77,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObservabilityServer",
     "RecordingRule",
+    "ReplaySource",
     "RuleAlert",
     "RuleSet",
     "RunDiff",
+    "RunSource",
     "SLAMonitor",
+    "StructuredLogger",
     "TelemetryConfig",
     "TelemetrySink",
     "TimeSeriesConfig",
@@ -73,13 +93,17 @@ __all__ = [
     "WindowStats",
     "build_run_report",
     "chrome_trace_events",
+    "dashboard_css",
     "dashboard_data",
     "default_latency_buckets",
     "diff_run_reports",
+    "load_replay_source",
     "load_rules",
     "parse_prometheus_text",
     "parse_selector",
     "render_dashboard",
+    "render_dashboard_body",
+    "render_top",
     "write_chrome_trace",
     "write_dashboard",
     "write_run_report",

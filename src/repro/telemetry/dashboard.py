@@ -32,7 +32,13 @@ import html
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["dashboard_data", "render_dashboard", "write_dashboard"]
+__all__ = [
+    "dashboard_css",
+    "dashboard_data",
+    "render_dashboard",
+    "render_dashboard_body",
+    "write_dashboard",
+]
 
 _RULES_ACTOR = "rules-engine"
 
@@ -719,8 +725,19 @@ def _targets_section(targets: Dict) -> str:
     )
 
 
-def render_dashboard(data: Dict) -> str:
-    """Render one :func:`dashboard_data` dict as self-contained HTML."""
+def dashboard_css() -> str:
+    """The dashboard's inline stylesheet (shared with the live server)."""
+    return _CSS
+
+
+def render_dashboard_body(data: Dict) -> str:
+    """Render the page *body* of one :func:`dashboard_data` dict.
+
+    The static artifact (:func:`render_dashboard`) wraps this in a full
+    HTML document; the live observability server re-renders just this
+    fragment on every SSE tick and swaps it into its shell page, so both
+    views share one chart pipeline.
+    """
     meta = data.get("meta", {})
     summary = data.get("summary", {})
     duration = float(summary.get("duration_min") or 1.0)
@@ -772,13 +789,20 @@ def render_dashboard(data: Dict) -> str:
         "scripts, no external resources.  Deterministic for a fixed "
         "seed and configuration.</p>"
     )
+    return "\n".join(part for part in body if part)
+
+
+def render_dashboard(data: Dict) -> str:
+    """Render one :func:`dashboard_data` dict as self-contained HTML."""
+    meta = data.get("meta", {})
+    title = meta.get("title") or "repro run dashboard"
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
         f"<title>{_esc(title)}</title>\n"
         f"<style>{_CSS}</style>\n"
         '</head><body class="viz-root">\n'
-        + "\n".join(part for part in body if part)
+        + render_dashboard_body(data)
         + "\n</body></html>\n"
     )
 

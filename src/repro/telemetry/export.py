@@ -154,6 +154,15 @@ def build_run_report(
             "utilization": len(sink.metrics.utilization),
         },
     }
+    if sink.monitor.error_alerts:
+        report["error_alerts"] = [
+            a.to_dict() for a in sink.monitor.error_alerts
+        ]
+    store = getattr(sink, "timeseries", None)
+    if store is not None:
+        # Bounded TSDB dump: lets `repro serve --replay` answer
+        # /api/query and /api/series for an archived run.
+        report["timeseries"] = store.to_dict(max_points=2000)
     if analysis is not None:
         report["analysis"] = analysis.to_dict()
     return report

@@ -507,6 +507,13 @@ class TelemetrySink:
                 self._tail_dropped += 1
                 return
         self._kept += 1
+        # Kept traces exemplify their latency bucket: the /metrics
+        # exposition links the histogram to a trace id an operator can
+        # actually pull up.  Off the e2e hot path (kept traces only),
+        # no RNG, one dict write.
+        self.registry.histogram(f"e2e_latency_ms.{ctx.service}").attach_exemplar(
+            finish - ctx.start, ctx.trace_id
+        )
         retain = (
             config.max_traces is None or len(self.traces) < config.max_traces
         )

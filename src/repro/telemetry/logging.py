@@ -1,0 +1,62 @@
+"""Structured stderr logging shared by the CLI, DecisionLog, and server.
+
+``python -m repro --log-format json <command>`` turns every decision the
+run takes (autoscaler reconciles, chaos injections, breaker transitions
+— everything that lands in the :class:`~repro.telemetry.monitor.
+DecisionLog`) and every request the observability server handles into
+one JSON object per stderr line, all carrying the same ``run_id`` so a
+log aggregator can join the simulation's control-plane activity with
+the HTTP access log of whoever was watching it.
+
+Deliberately stdlib-only and clock-free: lines carry the *simulation*
+minute where one exists (decisions) and no wall-clock timestamp
+otherwise, keeping output deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Dict, Optional, TextIO
+
+__all__ = ["StructuredLogger"]
+
+
+class StructuredLogger:
+    """One line per event, JSON (``fmt="json"``) or key=value text.
+
+    Every line carries ``run_id`` and ``actor`` correlation fields; the
+    CLI hands one logger to the telemetry sink's
+    :class:`~repro.telemetry.monitor.DecisionLog` (actor = the decision
+    record's actor) and to the observability server (actor ``serve``).
+    Writes are serialized with a lock — the server's handler threads and
+    the simulation thread log concurrently.
+    """
+
+    def __init__(
+        self,
+        fmt: str = "json",
+        run_id: str = "run",
+        stream: Optional[TextIO] = None,
+    ):
+        if fmt not in ("json", "text"):
+            raise ValueError(f"log format must be 'json' or 'text', got {fmt!r}")
+        self.fmt = fmt
+        self.run_id = run_id
+        self.stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.lines = 0
+
+    def log(self, event: str, actor: str = "cli", **fields) -> None:
+        """Emit one structured line (fields with value ``None`` dropped)."""
+        entry: Dict = {"event": event, "run_id": self.run_id, "actor": actor}
+        entry.update((k, v) for k, v in fields.items() if v is not None)
+        if self.fmt == "json":
+            line = json.dumps(entry, sort_keys=False, default=str)
+        else:
+            line = " ".join(f"{k}={v}" for k, v in entry.items())
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+            self.lines += 1

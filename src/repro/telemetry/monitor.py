@@ -325,10 +325,19 @@ class DecisionRecord:
 
 
 class DecisionLog:
-    """Append-only audit trail of scaling decisions."""
+    """Append-only audit trail of scaling decisions.
 
-    def __init__(self) -> None:
+    Set ``logger`` (a
+    :class:`~repro.telemetry.logging.StructuredLogger`) to mirror every
+    record to stderr as one structured line carrying the run's
+    ``run_id`` plus the decision's actor — the CLI wires this up under
+    ``--log-format json`` so autoscaler/chaos/breaker activity and the
+    observability server's access log share correlation fields.
+    """
+
+    def __init__(self, logger=None) -> None:
         self.records: List[DecisionRecord] = []
+        self.logger = logger
 
     def record(
         self,
@@ -352,6 +361,18 @@ class DecisionLog:
             latency_target_ms=latency_target_ms,
         )
         self.records.append(entry)
+        if self.logger is not None:
+            self.logger.log(
+                "decision",
+                actor=actor,
+                minute=round(minute, 6),
+                microservice=microservice,
+                before=before,
+                after=after,
+                reason=reason,
+                workload=workload,
+                latency_target_ms=latency_target_ms,
+            )
         return entry
 
     def __len__(self) -> int:

@@ -46,6 +46,20 @@ def _prom_float(value: float) -> str:
     return repr(value)
 
 
+def _exemplar_suffix(exemplar: Optional[Tuple[float, str]]) -> str:
+    """OpenMetrics exemplar suffix for one bucket line ('' when absent)."""
+    if exemplar is None:
+        return ""
+    value, trace_id = exemplar
+    escaped = trace_id.replace("\\", "\\\\").replace('"', '\\"')
+    return f' # {{trace_id="{escaped}"}} {_prom_float(value)}'
+
+
+_EXEMPLAR_RE = re.compile(
+    r'\s+#\s+\{trace_id="(?P<trace>(?:[^"\\]|\\.)*)"\}\s+(?P<value>\S+)\s*$'
+)
+
+
 def default_latency_buckets() -> List[float]:
     """Log-spaced latency bucket upper bounds in milliseconds.
 
@@ -94,9 +108,15 @@ class Histogram:
     of the bucket containing the requested rank — the standard
     Prometheus ``histogram_quantile`` estimate, biased at most one
     bucket width high.
+
+    Buckets can carry OpenMetrics-style *exemplars*: one representative
+    ``(value, trace_id)`` per bucket (latest wins), attached out-of-band
+    via :meth:`attach_exemplar` so the ``observe()`` hot path stays a
+    bisect plus two adds.  Exemplar storage is lazy — a histogram that
+    never sees one allocates nothing extra.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum")
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "exemplars")
 
     def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
         self.name = name
@@ -106,11 +126,19 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
         self.count = 0
         self.sum = 0.0
+        #: bucket index -> (value, trace_id); lazily created.
+        self.exemplars: Optional[Dict[int, Tuple[float, str]]] = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.sum += value
+
+    def attach_exemplar(self, value: float, trace_id: str) -> None:
+        """Link the bucket containing ``value`` to a trace (latest wins)."""
+        if self.exemplars is None:
+            self.exemplars = {}
+        self.exemplars[bisect_left(self.bounds, value)] = (value, trace_id)
 
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the ``q``-quantile (``q`` in [0, 1])."""
@@ -254,14 +282,19 @@ class MetricsRegistry:
             lines.append(f"{prom} {_prom_float(gauge.value)}")
         for name, hist in sorted(self.histograms.items()):
             prom = families[("histogram", name)]
+            exemplars = hist.exemplars or {}
             lines.append(f"# TYPE {prom} histogram")
             cumulative = 0
-            for bound, count in zip(hist.bounds, hist.counts):
+            for index, (bound, count) in enumerate(zip(hist.bounds, hist.counts)):
                 cumulative += count
                 lines.append(
                     f'{prom}_bucket{{le="{_prom_float(bound)}"}} {cumulative}'
+                    + _exemplar_suffix(exemplars.get(index))
                 )
-            lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(
+                f'{prom}_bucket{{le="+Inf"}} {hist.count}'
+                + _exemplar_suffix(exemplars.get(len(hist.bounds)))
+            )
             lines.append(f"{prom}_sum {_prom_float(hist.sum)}")
             lines.append(f"{prom}_count {hist.count}")
         return "\n".join(lines) + "\n" if lines else ""
@@ -276,6 +309,11 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
     "buckets": {le: cumulative_count}, "sum": ..., "count": ...}`` for
     histograms.  Counter names keep their ``_total`` suffix, matching the
     exposition.
+
+    OpenMetrics-style exemplar suffixes (``... # {trace_id="..."} 12.5``)
+    on bucket lines are accepted and surfaced under the histogram's
+    ``"exemplars"`` key as ``{le: {"trace_id": ..., "value": ...}}``;
+    lines without one parse exactly as before.
     """
     metrics: Dict[str, Dict] = {}
     types: Dict[str, str] = {}
@@ -288,6 +326,16 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
             if len(parts) >= 4 and parts[1] == "TYPE":
                 types[parts[2]] = parts[3]
             continue
+        exemplar = None
+        exemplar_match = _EXEMPLAR_RE.search(line)
+        if exemplar_match is not None:
+            exemplar = {
+                "trace_id": exemplar_match.group("trace")
+                .replace('\\"', '"')
+                .replace("\\\\", "\\"),
+                "value": float(exemplar_match.group("value")),
+            }
+            line = line[: exemplar_match.start()]
         name_part, _, value_part = line.rpartition(" ")
         value = float(value_part)
         if "{" in name_part:
@@ -299,7 +347,10 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
                 {"type": types.get(metric, "histogram"), "buckets": {}},
             )
             if base.endswith("_bucket") and labels.startswith('le="'):
-                entry["buckets"][float(labels[4:-1])] = value
+                le = float(labels[4:-1])
+                entry["buckets"][le] = value
+                if exemplar is not None:
+                    entry.setdefault("exemplars", {})[le] = exemplar
         else:
             base = name_part
             declared = types.get(base)

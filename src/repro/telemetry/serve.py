@@ -1,0 +1,926 @@
+"""Live observability plane: in-process HTTP scrape/query server + SSE.
+
+Erms's management loop is *online* — the controller and the operator
+share one live monitoring plane (§5).  Every earlier surface in this
+package (registry, TSDB, rules, dashboard, run reports) is post-hoc;
+this module makes a running simulation observable like a production
+service: an :class:`ObservabilityServer` attaches to a live run in a
+background thread (stdlib ``http.server`` only, zero new deps) and
+serves read-only snapshots of the run's telemetry:
+
+=====================  ==================================================
+``GET /metrics``       Prometheus text exposition (with OpenMetrics
+                       exemplars linking buckets to trace ids)
+``GET /api/query``     ``?expr=`` PromQL-shaped query over the live TSDB
+``GET /api/series``    raw series dump with label filters
+``GET /api/alerts``    SLA / error-budget / rule alert tails
+``GET /api/decisions`` DecisionLog tail (autoscaler, chaos, breakers)
+``GET /api/summary``   one-fetch run state (powers ``repro top``)
+``GET /healthz``       liveness
+``GET /readyz``        readiness (a source is bound)
+``GET /events``        SSE stream: progress, alert fires, decision
+                       records (breaker transitions, chaos injections)
+``GET /``              live dashboard shell (re-renders on SSE ticks)
+``GET /dashboard``     server-side-rendered dashboard body fragment
+``POST /shutdown``     clean shutdown handshake
+=====================  ==================================================
+
+Determinism contract (the hard bar): the serving thread only ever
+*reads* snapshots — append-only lists (monitor windows/alerts, decision
+records), registry dicts, and TSDB deques.  It never takes a lock the
+simulation needs, never writes sink state, and the sim clock never
+blocks on it, so golden fingerprints are bit-identical with the server
+attached (pinned in ``tests/test_serve.py``).  Concurrent mutation of a
+dict/deque mid-iteration can raise ``RuntimeError`` in the *reader*;
+:func:`_snapshot` retries the read — the writer is never disturbed.
+
+Two sources share the endpoint surface: :class:`RunSource` wraps a live
+:class:`~repro.telemetry.hooks.TelemetrySink` (plus the simulator for
+progress), and :class:`ReplaySource` rebuilds the same views from an
+archived ``repro report --output`` JSON — ``repro serve --replay`` puts
+the full plane (minus live progress) in front of any saved run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.telemetry.monitor import (
+    AlertEvent,
+    DecisionLog,
+    ErrorBudgetAlert,
+    SLAMonitor,
+    WindowStats,
+)
+from repro.telemetry.registry import Histogram, MetricsRegistry
+from repro.telemetry.timeseries.store import parse_metric_name
+
+__all__ = [
+    "ObservabilityServer",
+    "ReplaySource",
+    "RunSource",
+    "load_replay_source",
+    "render_top",
+]
+
+_MS_PER_MINUTE = 60_000.0
+
+
+def _snapshot(fn, retries: int = 10):
+    """Run a read-only snapshot, retrying if the writer mutated mid-read.
+
+    CPython raises ``RuntimeError`` when a dict or deque changes size
+    during iteration; the simulation thread owns all writes, so the
+    serving thread just backs off and re-reads.
+    """
+    for attempt in range(retries):
+        try:
+            return fn()
+        except RuntimeError:
+            if attempt == retries - 1:
+                raise
+            time.sleep(0.002)
+
+
+class _ResultView:
+    """Duck-typed ``SimulationResult`` stand-in for replayed runs."""
+
+    def __init__(
+        self, duration_min, warmup_min, events_processed, containers,
+        completed, generated,
+    ):
+        self.duration_min = duration_min
+        self.warmup_min = warmup_min
+        self.events_processed = events_processed
+        self.containers = dict(containers)
+        self.completed = dict(completed)
+        self.generated = dict(generated)
+
+
+class RunSource:
+    """Snapshot-read adapter over a live (or just-finished) run.
+
+    Everything the server exposes funnels through here; the instance
+    holds references only — no copies are made until a request arrives.
+    """
+
+    mode = "live"
+
+    def __init__(
+        self,
+        sink,
+        simulator=None,
+        result=None,
+        specs=None,
+        meta: Optional[Dict] = None,
+        targets: Optional[Dict] = None,
+        chaos=None,
+    ):
+        self.sink = sink
+        self.simulator = simulator
+        self.result = result if result is not None else (
+            simulator.result if simulator is not None else None
+        )
+        self.meta = dict(meta or {})
+        self.targets = targets
+        self.chaos = chaos
+        self.complete = False
+        self.slas: Dict[str, float] = dict(sink.monitor.slas)
+        for spec in specs or []:
+            self.slas.setdefault(spec.name, spec.sla)
+
+    def mark_complete(self, result=None) -> None:
+        """The run finished; freeze progress on its final result."""
+        if result is not None:
+            self.result = result
+        self.complete = True
+
+    # -- views ----------------------------------------------------------
+    @property
+    def registry(self):
+        return self.sink.registry
+
+    @property
+    def monitor(self):
+        return self.sink.monitor
+
+    @property
+    def decisions(self):
+        return self.sink.decisions
+
+    @property
+    def store(self):
+        return getattr(self.sink, "timeseries", None)
+
+    @property
+    def window_min(self) -> float:
+        return self.sink.config.window_min
+
+    def expose_metrics(self) -> str:
+        return _snapshot(self.registry.expose_text)
+
+    def progress(self) -> Dict:
+        result = self.result
+        duration = float(getattr(result, "duration_min", 0.0) or 0.0)
+        if self.complete or self.simulator is None:
+            now_min = duration
+        else:
+            now_min = min(
+                self.simulator.events.now / _MS_PER_MINUTE, duration
+            )
+        monitor = self.monitor
+        entry = {
+            "mode": self.mode,
+            "complete": bool(self.complete),
+            "now_min": round(now_min, 6),
+            "duration_min": duration,
+            "progress_pct": round(100.0 * now_min / duration, 2)
+            if duration
+            else 0.0,
+            "events_processed": int(
+                getattr(result, "events_processed", 0)
+                or (
+                    self.simulator.events._counter
+                    if self.simulator is not None
+                    else 0
+                )
+            ),
+            "completed": int(sum(getattr(result, "completed", {}).values()))
+            if result is not None
+            else 0,
+            "generated": int(sum(getattr(result, "generated", {}).values()))
+            if result is not None
+            else 0,
+            "alerts": {
+                "sla": len(monitor.alerts),
+                "error_budget": len(monitor.error_alerts),
+                "rules": len(monitor.rule_alerts),
+            },
+            "decisions": len(self.decisions.records),
+        }
+        return entry
+
+    def _service_rows(self) -> List[Dict]:
+        registry = self.registry
+        monitor = self.monitor
+        names = sorted(
+            set(self.slas)
+            | {
+                parse_metric_name(n)[1].get("service", "")
+                for n in registry.histograms
+                if parse_metric_name(n)[0] == "e2e_latency_ms"
+            }
+            - {""}
+        )
+        rows: List[Dict] = []
+        for service in names:
+            row: Dict = {"service": service, "sla_ms": self.slas.get(service)}
+            hist = registry.histograms.get(f"e2e_latency_ms.{service}")
+            if hist is not None and hist.count:
+                row["completed"] = hist.count
+                row["p50_ms"] = hist.quantile(0.50)
+                row["p95_ms"] = hist.quantile(0.95)
+                row["p99_ms"] = hist.quantile(0.99)
+            else:
+                row["completed"] = 0
+            windows = [w for w in monitor.windows if w.service == service]
+            total = sum(w.count for w in windows)
+            row["windows"] = len(windows)
+            row["miss_rate"] = round(
+                sum(w.violations for w in windows) / total, 6
+            ) if total else 0.0
+            row["errors"] = sum(w.errors for w in windows)
+            rows.append(row)
+        return rows
+
+    def _breaker_rows(self) -> List[Dict]:
+        states = {0.0: "closed", 1.0: "open", 2.0: "half-open"}
+        rows = []
+        for name in sorted(self.registry.gauges):
+            family, labels = parse_metric_name(name)
+            if family != "breaker_state":
+                continue
+            value = self.registry.gauges[name].value
+            rows.append(
+                {
+                    "service": labels.get("service", ""),
+                    "microservice": labels.get("microservice", ""),
+                    "state": states.get(value, str(value)),
+                    "value": value,
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict:
+        def build():
+            result = self.result
+            return {
+                "schema": 1,
+                "meta": dict(self.meta),
+                "progress": self.progress(),
+                "services": self._service_rows(),
+                "breakers": self._breaker_rows(),
+                "containers": dict(
+                    sorted(getattr(result, "containers", {}).items())
+                )
+                if result is not None
+                else {},
+            }
+
+        return _snapshot(build)
+
+    def alerts(self, limit: Optional[int] = None) -> Dict:
+        def tail(items):
+            dicts = [a.to_dict() for a in list(items)]
+            return dicts[-limit:] if limit else dicts
+
+        monitor = self.monitor
+        return _snapshot(
+            lambda: {
+                "sla": tail(monitor.alerts),
+                "error_budget": tail(monitor.error_alerts),
+                "rules": tail(monitor.rule_alerts),
+            }
+        )
+
+    def decision_tail(
+        self, limit: Optional[int] = None, actor: Optional[str] = None
+    ) -> Dict:
+        def build():
+            records = list(self.decisions.records)
+            if actor:
+                records = [r for r in records if r.actor == actor]
+            total = len(records)
+            if limit:
+                records = records[-limit:]
+            return {"total": total, "decisions": [r.to_dict() for r in records]}
+
+        return _snapshot(build)
+
+    def query(self, expr: str, at: Optional[float] = None) -> Dict:
+        store = self.store
+        if store is None:
+            return {"expr": expr, "at": at, "results": []}
+
+        def build():
+            results = store.query(expr, at=at)
+            return {
+                "expr": expr,
+                "at": at if at is not None else store.last_scrape_min,
+                "results": [
+                    {
+                        "name": series.name,
+                        "labels": dict(series.labels),
+                        "value": value,
+                    }
+                    for series, value in results
+                ],
+            }
+
+        return _snapshot(build)
+
+    def series(
+        self,
+        name: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+        max_points: Optional[int] = None,
+    ) -> Dict:
+        store = self.store
+        if store is None:
+            return {"series": []}
+
+        def build():
+            matched = store.select(name=name, labels=labels or None)
+            return {"series": [s.to_dict(max_points) for s in matched]}
+
+        return _snapshot(build)
+
+    def dashboard_payload(self) -> Dict:
+        from repro.telemetry.dashboard import dashboard_data
+
+        result = self.result
+        if result is None:
+            # No simulation result to render yet (e.g. the aggregate
+            # source of a `compare --serve` sweep): a zeroed stand-in
+            # keeps the dashboard template on its normal path.
+            result = _ResultView(0.0, 0.0, 0, {}, {}, {})
+        return _snapshot(
+            lambda: dashboard_data(
+                self.sink,
+                result,
+                specs=None,
+                meta=self.meta,
+                targets=self.targets,
+                chaos=self.chaos,
+            )
+        )
+
+
+class ReplaySource(RunSource):
+    """The same endpoint surface, rebuilt from an archived run report.
+
+    ``repro report --output run.json`` (schema 1) round-trips: windows,
+    alerts, decisions, counters and gauges are exact; histograms come
+    back as a single-bucket approximation (the snapshot keeps count /
+    sum / p50 / p95 / p99, not full buckets), and the TSDB is rebuilt
+    from the report's bounded ``timeseries`` dump when present.
+    """
+
+    mode = "replay"
+
+    def __init__(self, report: Dict, path: Optional[str] = None):
+        self.report = report
+        sink = _SinkView(report)
+        meta = {"replay": path or "run-report"}
+        result = _ResultView(
+            duration_min=report.get("duration_min", 0.0),
+            warmup_min=report.get("warmup_min", 0.0),
+            events_processed=report.get("events_processed", 0),
+            containers=report.get("containers", {}),
+            completed={
+                name: entry.get("completed", 0)
+                for name, entry in report.get("services", {}).items()
+            },
+            generated={
+                name: entry.get("generated", 0)
+                for name, entry in report.get("services", {}).items()
+            },
+        )
+        super().__init__(sink, simulator=None, result=result, meta=meta)
+        for name, entry in report.get("services", {}).items():
+            sla = entry.get("sla_ms")
+            if sla:
+                self.slas.setdefault(name, sla)
+        self.complete = True
+        self._hist_snapshot = report.get("registry", {}).get("histograms", {})
+
+    def _service_rows(self) -> List[Dict]:
+        # Exact snapshot percentiles beat the single-bucket rebuild.
+        rows = super()._service_rows()
+        for row in rows:
+            snap = self._hist_snapshot.get(
+                f"e2e_latency_ms.{row['service']}", {}
+            )
+            for stat in ("p50", "p95", "p99"):
+                if stat in snap:
+                    row[f"{stat}_ms"] = snap[stat]
+        return rows
+
+
+class _SinkView:
+    """Duck-typed ``TelemetrySink`` rebuilt from a run-report dict."""
+
+    def __init__(self, report: Dict):
+        from repro.telemetry.hooks import TelemetryConfig
+        from repro.telemetry.timeseries import TimeSeriesStore
+
+        self.config = TelemetryConfig(
+            window_min=report.get("window_min", 1.0) or 1.0,
+            spans=False,
+            max_traces=0,
+        )
+        self.monitor = SLAMonitor()
+        for w in report.get("windows", []):
+            self.monitor.windows.append(
+                WindowStats(
+                    service=w["service"],
+                    window=w["window"],
+                    start_min=w["start_min"],
+                    count=w["count"],
+                    violations=w["violations"],
+                    p95_ms=w["p95_ms"],
+                    sla_ms=w.get("sla_ms", 0.0),
+                    errors=w.get("errors", 0),
+                )
+            )
+        for a in report.get("alerts", []):
+            self.monitor.alerts.append(
+                AlertEvent(
+                    service=a["service"],
+                    window=a["window"],
+                    start_min=a["start_min"],
+                    p95_ms=a["p95_ms"],
+                    sla_ms=a["sla_ms"],
+                    violations=a["violations"],
+                    count=a["count"],
+                )
+            )
+        for a in report.get("error_alerts", []):
+            self.monitor.error_alerts.append(
+                ErrorBudgetAlert(
+                    service=a["service"],
+                    window=a["window"],
+                    start_min=a["start_min"],
+                    errors=a["errors"],
+                    count=a["count"],
+                    error_rate=a["error_rate"],
+                    budget=a["budget"],
+                )
+            )
+        self.decisions = DecisionLog()
+        for d in report.get("decisions", []):
+            self.decisions.record(
+                minute=d["minute"],
+                actor=d["actor"],
+                microservice=d["microservice"],
+                before=d["before"],
+                after=d["after"],
+                reason=d["reason"],
+                workload=d.get("workload"),
+                latency_target_ms=d.get("latency_target_ms"),
+            )
+        self.registry = MetricsRegistry()
+        snapshot = report.get("registry", {})
+        for name, value in snapshot.get("counters", {}).items():
+            self.registry.counter(name).value = value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.registry.gauge(name).set(value)
+        for name, entry in snapshot.get("histograms", {}).items():
+            # Single-bucket rebuild: the snapshot has no bucket layout,
+            # so the whole population sits at/below its recorded p99.
+            bound = float(entry.get("p99") or entry.get("p95") or 1.0)
+            hist = Histogram(name, bounds=[bound])
+            hist.count = int(entry.get("count", 0))
+            hist.sum = float(entry.get("sum", 0.0))
+            hist.counts = [hist.count, 0]
+            self.registry.histograms[name] = hist
+        self.window_series = list(report.get("window_series", []))
+        self.timeseries = None
+        ts = report.get("timeseries")
+        if ts and ts.get("series_data"):
+            store = TimeSeriesStore()
+            for sd in ts["series_data"]:
+                for t, v in sd.get("points", []):
+                    store.record(sd["name"], sd.get("labels", {}), t, v)
+            store.scrapes = ts.get("scrapes", 0)
+            store.last_scrape_min = max(
+                (s.times[-1] for s in store.series.values() if s.times),
+                default=None,
+            )
+            self.timeseries = store
+
+
+def load_replay_source(path: str) -> ReplaySource:
+    """Load an archived ``repro report`` JSON as a servable source."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != 1:
+        raise ValueError(
+            f"{path}: not a schema-1 run report "
+            f"(schema={report.get('schema')!r})"
+        )
+    return ReplaySource(report, path=path)
+
+
+# ----------------------------------------------------------------------
+# `repro top` frame rendering
+# ----------------------------------------------------------------------
+def render_top(summary: Dict, clear: bool = True) -> str:
+    """One ``repro top`` terminal frame from an ``/api/summary`` payload.
+
+    Curses-free: a full-screen ANSI clear-and-redraw (suppressed with
+    ``clear=False`` for plain appending output / tests).
+    """
+    progress = summary.get("progress", {})
+    lines: List[str] = []
+    mode = progress.get("mode", "?")
+    state = "complete" if progress.get("complete") else "running"
+    lines.append(
+        f"repro top · {mode} ({state}) · "
+        f"{progress.get('now_min', 0):.2f}/{progress.get('duration_min', 0):g} min "
+        f"({progress.get('progress_pct', 0):.0f}%) · "
+        f"events {progress.get('events_processed', 0):,} · "
+        f"completed {progress.get('completed', 0):,}"
+    )
+    lines.append("")
+    header = (
+        f"{'SERVICE':<22}{'P50':>8}{'P95':>8}{'P99':>8}{'SLA':>8}"
+        f"{'MISS%':>8}{'COMPL':>9}{'ERR':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary.get("services", []):
+        def fmt(key):
+            value = row.get(key)
+            return f"{value:.1f}" if isinstance(value, (int, float)) else "-"
+
+        lines.append(
+            f"{row.get('service', '?'):<22}"
+            f"{fmt('p50_ms'):>8}{fmt('p95_ms'):>8}{fmt('p99_ms'):>8}"
+            f"{fmt('sla_ms'):>8}"
+            f"{row.get('miss_rate', 0.0) * 100:>7.2f}%"
+            f"{row.get('completed', 0):>9,}"
+            f"{row.get('errors', 0):>6,}"
+        )
+    breakers = summary.get("breakers", [])
+    open_breakers = [b for b in breakers if b.get("state") != "closed"]
+    if breakers:
+        lines.append("")
+        if open_breakers:
+            lines.append(
+                "BREAKERS: "
+                + "  ".join(
+                    f"{b['service']}->{b['microservice']}:{b['state']}"
+                    for b in open_breakers
+                )
+            )
+        else:
+            lines.append(f"BREAKERS: all {len(breakers)} closed")
+    containers = summary.get("containers", {})
+    if containers:
+        lines.append(
+            f"CONTAINERS: total {sum(containers.values())} ("
+            + " ".join(f"{k}:{v}" for k, v in sorted(containers.items()))
+            + ")"
+        )
+    alerts = progress.get("alerts", {})
+    lines.append(
+        f"ALERTS: sla {alerts.get('sla', 0)} · "
+        f"budget {alerts.get('error_budget', 0)} · "
+        f"rules {alerts.get('rules', 0)} · "
+        f"decisions {progress.get('decisions', 0)}"
+    )
+    frame = "\n".join(lines) + "\n"
+    if clear:
+        frame = "\x1b[2J\x1b[H" + frame
+    return frame
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+_LIVE_SHELL = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>{css}</style>
+</head><body class="viz-root">
+<p class="meta" id="live-status">connecting to /events ...</p>
+<div id="dash"><p class="meta">loading dashboard ...</p></div>
+<script>
+(function () {{
+  var dash = document.getElementById('dash');
+  var status = document.getElementById('live-status');
+  var pending = false;
+  function refresh() {{
+    if (pending) return;
+    pending = true;
+    fetch('/dashboard').then(function (r) {{ return r.text(); }})
+      .then(function (html) {{ dash.innerHTML = html; }})
+      .finally(function () {{ pending = false; }});
+  }}
+  var es = new EventSource('/events');
+  es.addEventListener('progress', function (e) {{
+    var p = JSON.parse(e.data);
+    status.textContent = 'live · ' + p.now_min.toFixed(2) + ' / ' +
+      p.duration_min + ' min (' + p.progress_pct.toFixed(0) + '%) · ' +
+      p.completed + ' completed · ' + p.events_processed + ' events';
+    refresh();
+  }});
+  es.addEventListener('complete', function () {{
+    status.textContent += ' · run complete';
+    es.close();
+    refresh();
+  }});
+  refresh();
+}})();
+</script>
+</body></html>
+"""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def obs(self) -> "ObservabilityServer":
+        return self.server.observability  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # stdlib default is stderr noise
+        logger = self.obs.logger
+        if logger is not None:
+            logger.log(
+                "http_access",
+                actor="serve",
+                method=getattr(self, "command", "?"),
+                path=getattr(self, "path", "?"),
+                detail=fmt % args,
+            )
+
+    def _send(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        self._send(
+            json.dumps(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+            status,
+        )
+
+    def _qs(self) -> Dict[str, List[str]]:
+        return parse_qs(urlparse(self.path).query)
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:
+        path = urlparse(self.path).path
+        try:
+            handler = {
+                "/healthz": self._get_healthz,
+                "/readyz": self._get_readyz,
+                "/metrics": self._get_metrics,
+                "/api/query": self._get_query,
+                "/api/series": self._get_series,
+                "/api/alerts": self._get_alerts,
+                "/api/decisions": self._get_decisions,
+                "/api/summary": self._get_summary,
+                "/events": self._get_events,
+                "/dashboard": self._get_dashboard,
+                "/": self._get_index,
+            }.get(path)
+            if handler is None:
+                self._send_json({"error": f"no such path: {path}"}, 404)
+                return
+            handler()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except ValueError as error:
+            self._send_json({"error": str(error)}, 400)
+        except Exception as error:  # read-side bug: report, don't crash
+            self._send_json({"error": f"{type(error).__name__}: {error}"}, 500)
+
+    def do_POST(self) -> None:
+        path = urlparse(self.path).path
+        if path == "/shutdown":
+            self._send_json({"status": "shutting down"})
+            self.obs.request_shutdown()
+        else:
+            self._send_json({"error": f"no such path: {path}"}, 404)
+
+    def _get_healthz(self) -> None:
+        self._send_json({"status": "ok", "mode": self.obs.source.mode})
+
+    def _get_readyz(self) -> None:
+        ready = self.obs.source is not None
+        self._send_json(
+            {"ready": ready, "mode": self.obs.source.mode},
+            200 if ready else 503,
+        )
+
+    def _get_metrics(self) -> None:
+        text = self.obs.source.expose_metrics()
+        self._send(
+            text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _get_query(self) -> None:
+        qs = self._qs()
+        exprs = qs.get("expr")
+        if not exprs:
+            raise ValueError("missing ?expr= query parameter")
+        at = float(qs["at"][0]) if "at" in qs else None
+        self._send_json(self.obs.source.query(exprs[0], at=at))
+
+    def _get_series(self) -> None:
+        qs = self._qs()
+        name = qs.get("name", [None])[0]
+        max_points = (
+            int(qs["max_points"][0]) if "max_points" in qs else 500
+        )
+        labels = {
+            key: values[0]
+            for key, values in qs.items()
+            if key not in ("name", "max_points")
+        }
+        self._send_json(
+            self.obs.source.series(
+                name=name, labels=labels, max_points=max_points
+            )
+        )
+
+    def _get_alerts(self) -> None:
+        qs = self._qs()
+        limit = int(qs["limit"][0]) if "limit" in qs else None
+        self._send_json(self.obs.source.alerts(limit=limit))
+
+    def _get_decisions(self) -> None:
+        qs = self._qs()
+        limit = int(qs["limit"][0]) if "limit" in qs else 100
+        actor = qs.get("actor", [None])[0]
+        self._send_json(self.obs.source.decision_tail(limit=limit, actor=actor))
+
+    def _get_summary(self) -> None:
+        self._send_json(self.obs.source.summary())
+
+    def _get_dashboard(self) -> None:
+        from repro.telemetry.dashboard import render_dashboard_body
+
+        body = render_dashboard_body(self.obs.source.dashboard_payload())
+        self._send(body.encode("utf-8"), "text/html; charset=utf-8")
+
+    def _get_index(self) -> None:
+        from repro.telemetry.dashboard import (
+            dashboard_css,
+            render_dashboard,
+        )
+
+        source = self.obs.source
+        if source.complete and source.mode == "replay":
+            # Archived run: nothing will change — serve the static,
+            # script-free artifact directly.
+            html = render_dashboard(source.dashboard_payload())
+        else:
+            title = source.meta.get("title") or "repro live dashboard"
+            html = _LIVE_SHELL.format(title=title, css=dashboard_css())
+        self._send(html.encode("utf-8"), "text/html; charset=utf-8")
+
+    # -- SSE ------------------------------------------------------------
+    def _get_events(self) -> None:
+        qs = self._qs()
+        limit = int(qs["limit"][0]) if "limit" in qs else None
+        obs = self.obs
+        source = obs.source
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+
+        sent = 0
+
+        def emit(event: str, data) -> bool:
+            nonlocal sent
+            payload = f"event: {event}\ndata: {json.dumps(data)}\n\n"
+            self.wfile.write(payload.encode("utf-8"))
+            self.wfile.flush()
+            sent += 1
+            return limit is None or sent < limit
+
+        monitor = source.monitor
+        decisions = source.decisions
+        seen = {
+            "sla": len(monitor.alerts),
+            "error_budget": len(monitor.error_alerts),
+            "rules": len(monitor.rule_alerts),
+            "decisions": len(decisions.records),
+        }
+        try:
+            if not emit("progress", source.progress()):
+                return
+            while not obs.stopping:
+                time.sleep(obs.poll_interval_s)
+                for kind, items in (
+                    ("sla", monitor.alerts),
+                    ("error_budget", monitor.error_alerts),
+                    ("rules", monitor.rule_alerts),
+                ):
+                    while seen[kind] < len(items):
+                        alert = items[seen[kind]]
+                        seen[kind] += 1
+                        if not emit(
+                            "alert", {"kind": kind, **alert.to_dict()}
+                        ):
+                            return
+                while seen["decisions"] < len(decisions.records):
+                    record = decisions.records[seen["decisions"]]
+                    seen["decisions"] += 1
+                    if not emit("decision", record.to_dict()):
+                        return
+                if not emit("progress", source.progress()):
+                    return
+                if source.complete:
+                    emit("complete", source.progress())
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            return
+
+
+class ObservabilityServer:
+    """Background-thread HTTP plane over one :class:`RunSource`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` / :attr:`url`).  ``start()`` returns immediately; the
+    handler threads are daemons, so a crashed main thread never hangs
+    on the server.  ``wait_for_shutdown()`` blocks until a client
+    ``POST /shutdown`` (or :meth:`request_shutdown` /
+    ``KeyboardInterrupt``), then tears the server down.
+    """
+
+    def __init__(
+        self,
+        source: RunSource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        logger=None,
+        poll_interval_s: float = 0.25,
+    ):
+        self.source = source
+        self.logger = logger
+        self.poll_interval_s = poll_interval_s
+        self.stopping = False
+        self._shutdown_requested = threading.Event()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.observability = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observability",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.logger is not None:
+            self.logger.log(
+                "serve_start", actor="serve", url=self.url,
+                mode=self.source.mode,
+            )
+        return self
+
+    def request_shutdown(self) -> None:
+        """Flag shutdown (from a handler thread or the owner)."""
+        self._shutdown_requested.set()
+
+    def wait_for_shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Block until shutdown is requested, then stop.  True if it was."""
+        try:
+            requested = self._shutdown_requested.wait(timeout)
+        except KeyboardInterrupt:
+            requested = True
+        self.stop()
+        return bool(requested)
+
+    def stop(self) -> None:
+        if self.stopping:
+            return
+        self.stopping = True  # unblocks SSE loops
+        self._shutdown_requested.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self.logger is not None:
+            self.logger.log("serve_stop", actor="serve", url=self.url)

@@ -41,7 +41,39 @@ __all__ = [
 _SELECTOR_RE = re.compile(
     r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:.\-]*)\s*(?:\{(?P<labels>[^}]*)\})?$"
 )
-_MATCHER_RE = re.compile(r'\s*([A-Za-z_][A-Za-z0-9_]*)\s*(!?=)\s*"([^"]*)"\s*$')
+_MATCHER_RE = re.compile(
+    r'\s*([A-Za-z_][A-Za-z0-9_]*)\s*(!?=)\s*"((?:[^"\\]|\\.)*)"\s*$'
+)
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _split_matchers(label_part: str) -> List[str]:
+    """Split ``k="v",k2="w"`` on commas outside quoted values.
+
+    Quoted values may contain ``\\"`` / ``\\\\`` escapes and literal
+    commas, so a naive ``split(",")`` would cut matchers apart.
+    """
+    items: List[str] = []
+    current: List[str] = []
+    quoted = False
+    escaped = False
+    for ch in label_part:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\" and quoted:
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            quoted = not quoted
+            current.append(ch)
+        elif ch == "," and not quoted:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    return items
 _CALL_RE = re.compile(r"^(?P<func>[a-z_][a-z0-9_]*)\s*\((?P<args>.*)\)$", re.S)
 _RANGE_RE = re.compile(r"^(?P<sel>.*?)\s*\[\s*(?P<num>[0-9.]+)\s*(?P<unit>[ms])\s*\]$")
 
@@ -75,18 +107,24 @@ class Selector:
 
 
 def parse_selector(text: str) -> Selector:
-    """Parse ``name`` or ``name{key="v",other!="w"}``."""
+    """Parse ``name`` or ``name{key="v",other!="w"}``.
+
+    Label values are double-quoted strings supporting ``\\"`` and
+    ``\\\\`` escapes (and literal commas), so selectors built from
+    arbitrary label values round-trip.
+    """
     match = _SELECTOR_RE.match(text.strip())
     if match is None:
         raise ValueError(f"invalid selector: {text!r}")
     matchers: List[Matcher] = []
     label_part = match.group("labels")
     if label_part is not None and label_part.strip():
-        for item in label_part.split(","):
+        for item in _split_matchers(label_part):
             m = _MATCHER_RE.match(item)
             if m is None:
                 raise ValueError(f"invalid label matcher {item!r} in {text!r}")
-            matchers.append(Matcher(m.group(1), m.group(2), m.group(3)))
+            value = _ESCAPE_RE.sub(r"\1", m.group(3))
+            matchers.append(Matcher(m.group(1), m.group(2), value))
     return Selector(match.group("name"), tuple(matchers))
 
 

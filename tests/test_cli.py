@@ -101,6 +101,46 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report", "--format", "xml"])
 
+    def test_serve_flag_on_run_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).serve is None
+        assert parser.parse_args(["simulate", "--serve"]).serve == 0
+        assert parser.parse_args(["simulate", "--serve", "8123"]).serve == 8123
+        assert parser.parse_args(["compare", "--serve"]).serve == 0
+        assert parser.parse_args(["chaos", "--serve", "9090"]).serve == 9090
+
+    def test_serve_subcommand_defaults(self):
+        args = build_parser().parse_args(["serve", "--replay", "run.json"])
+        assert args.replay == "run.json"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+
+    def test_serve_subcommand_requires_replay(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:8000"
+        assert args.interval == 1.0
+        assert args.frames is None
+
+    def test_log_format_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).log_format == "text"
+        args = parser.parse_args(["--log-format", "json", "simulate"])
+        assert args.log_format == "json"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--log-format", "yaml", "simulate"])
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        assert "exit codes:" in out
+        assert "2 usage error" in out
+        assert "3 runtime failure" in out
+
 
 class TestCommands:
     def test_scale_prints_allocation(self, capsys):
@@ -116,13 +156,13 @@ class TestCommands:
                          "--app", "hotel-reservation",
                          "--workload", "2000"]) == 0
 
-    def test_unknown_scheme_exits(self):
-        with pytest.raises(SystemExit, match="unknown scheme"):
-            main(["scale", "--scheme", "magic"])
+    def test_unknown_scheme_exits_usage_code(self, capsys):
+        assert main(["scale", "--scheme", "magic"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
 
-    def test_unknown_app_exits(self):
-        with pytest.raises(SystemExit, match="unknown application"):
-            main(["scale", "--app", "nope"])
+    def test_unknown_app_exits_usage_code(self, capsys):
+        assert main(["scale", "--app", "nope"]) == 2
+        assert "unknown application" in capsys.readouterr().err
 
     def test_simulate_reports_latency(self, capsys):
         assert main(["simulate", "--app", "hotel-reservation",
@@ -205,3 +245,99 @@ class TestCommands:
         analysis = report["analysis"]
         assert analysis["critical_path"]
         assert "sampling" in analysis
+
+
+def _tiny_report(tmp_path):
+    """A minimal but complete run report file for serve/top tests."""
+    from repro.core.model import ServiceSpec
+    from repro.graphs import DependencyGraph, call
+    from repro.simulator import (
+        ClusterSimulator,
+        SimulatedMicroservice,
+        SimulationConfig,
+    )
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetrySink,
+        build_run_report,
+        write_run_report,
+    )
+
+    sink = TelemetrySink(
+        config=TelemetryConfig(window_min=0.2, spans=False, max_traces=0)
+    )
+    spec = ServiceSpec("svc", DependencyGraph("svc", call("B")), 0.0, 100.0)
+    result = ClusterSimulator(
+        [spec],
+        {"B": SimulatedMicroservice("B", base_service_ms=5.0, threads=4)},
+        containers={"B": 1},
+        rates={"svc": 3_000.0},
+        config=SimulationConfig(duration_min=0.3, warmup_min=0.05, seed=5),
+        telemetry=sink,
+    ).run()
+    path = tmp_path / "report.json"
+    write_run_report(build_run_report(sink, result, specs=[spec]), str(path))
+    return path
+
+
+class TestServeCommands:
+    def test_serve_missing_replay_is_usage_error(self, capsys, tmp_path):
+        assert main(["serve", "--replay", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read replay report" in capsys.readouterr().err
+
+    def test_serve_invalid_report_is_runtime_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 99}')
+        assert main(["serve", "--replay", str(bad)]) == 3
+
+    def test_simulate_serve_end_to_end(self, monkeypatch, capsys):
+        """``simulate --serve 0`` brings the plane up for the run and
+        keeps serving the finished result until shutdown."""
+        import json
+        import urllib.request
+
+        from repro.telemetry.serve import ObservabilityServer
+
+        captured = {}
+        real_stop = ObservabilityServer.stop
+
+        def fake_wait(self, timeout=None):
+            with urllib.request.urlopen(
+                self.url + "/api/summary", timeout=10
+            ) as response:
+                captured["summary"] = json.loads(response.read())
+            with urllib.request.urlopen(
+                self.url + "/metrics", timeout=10
+            ) as response:
+                captured["metrics"] = response.read().decode()
+            real_stop(self)
+            return True
+
+        monkeypatch.setattr(ObservabilityServer, "wait_for_shutdown", fake_wait)
+        assert main(["simulate", "--app", "hotel-reservation",
+                     "--workload", "2000", "--duration", "0.4",
+                     "--serve", "0"]) == 0
+        progress = captured["summary"]["progress"]
+        assert progress["mode"] == "live"
+        assert progress["complete"] is True
+        assert "requests_completed_total" in captured["metrics"]
+        err = capsys.readouterr().err
+        assert "observability plane: http://" in err
+
+    def test_top_renders_frame_from_live_server(self, capsys, tmp_path):
+        from repro.telemetry import ObservabilityServer, load_replay_source
+
+        path = _tiny_report(tmp_path)
+        server = ObservabilityServer(load_replay_source(str(path))).start()
+        try:
+            assert main(["top", "--url", server.url, "--frames", "1"]) == 0
+        finally:
+            server.stop()
+        out = capsys.readouterr().out
+        assert out.startswith("repro top")
+        assert "svc" in out
+
+    def test_top_unreachable_is_runtime_error(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:9",
+                     "--frames", "1"]) == 3
+        assert "repro top" not in capsys.readouterr().out

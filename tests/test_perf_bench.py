@@ -100,6 +100,22 @@ class TestRunnerSmoke:
         assert tsdb["scrapes"] > 0
         assert tsdb["samples"] > tsdb["scrapes"]
 
+    def test_checked_in_report_serve_disabled_path(self):
+        """The no-server hot path costs nothing measurable.
+
+        A run that never passes ``--serve`` constructs no HTTP server,
+        no threads, no source adapter — so the disabled figure must sit
+        within 5 % of the plain saturation number from the same suite
+        run (the tentpole's acceptance gate).  The enabled figure must
+        come from a run that actually served scrapes concurrently.
+        """
+        report = json.loads((REPO_ROOT / "BENCH_des.json").read_text())
+        serve = report["benchmarks"]["serve_overhead"]
+        saturation = report["benchmarks"]["saturation"]["events_per_sec"]
+        assert serve["disabled_events_per_sec"] >= 0.95 * saturation
+        assert serve["enabled_events_per_sec"] > 0
+        assert serve["requests_served"] > 0
+
 
 @pytest.mark.perf
 class TestMicroTimingGuard:
@@ -170,3 +186,18 @@ class TestMicroTimingGuard:
         assert report["enabled_events_per_sec"] >= 100_000
         assert report["overhead_pct"] < 80.0
         assert report["scrapes"] >= 5
+
+    def test_serve_overhead_is_bounded(self):
+        """Being polled over HTTP slows the engine, but boundedly.
+
+        The sink + TSDB cost dominates (same as ``tsdb_overhead``); the
+        GIL handoffs to the server's handler threads add a few percent
+        on top.  The guard trips on a runaway per-request cost — e.g. a
+        handler copying the whole store per scrape — not the known
+        price, and the client must actually have been served.
+        """
+        report = runner.bench_serve_overhead(duration_min=0.5, trials=2)
+        assert report["disabled_events_per_sec"] > 0
+        assert report["enabled_events_per_sec"] >= 100_000
+        assert report["overhead_pct"] < 80.0
+        assert report["requests_served"] > 0

@@ -111,6 +111,59 @@ class TestFullRoundTrip:
         assert 'h_bucket{le="+Inf"} 1' in text
 
 
+class TestExemplarRoundTrip:
+    def test_exemplar_survives_expose_and_parse(self):
+        registry = MetricsRegistry(latency_bounds=[1.0, 10.0, 100.0])
+        hist = registry.histogram("lat.svc")
+        hist.observe(5.0)
+        hist.observe(50.0)
+        hist.attach_exemplar(5.0, "trace-abc")
+        hist.attach_exemplar(50.0, "trace-def")
+        text = registry.expose_text()
+        assert '# {trace_id="trace-abc"} 5' in text
+        parsed = parse_prometheus_text(text)
+        exemplars = parsed["lat_svc"]["exemplars"]
+        assert exemplars[10.0] == {"trace_id": "trace-abc", "value": 5.0}
+        assert exemplars[100.0] == {"trace_id": "trace-def", "value": 50.0}
+
+    def test_latest_exemplar_per_bucket_wins(self):
+        registry = MetricsRegistry(latency_bounds=[10.0])
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.attach_exemplar(1.0, "first")
+        hist.attach_exemplar(2.0, "second")
+        parsed = parse_prometheus_text(registry.expose_text())
+        assert parsed["h"]["exemplars"] == {
+            10.0: {"trace_id": "second", "value": 2.0}
+        }
+
+    def test_overflow_bucket_exemplar_lands_on_inf(self):
+        registry = MetricsRegistry(latency_bounds=[1.0])
+        hist = registry.histogram("h")
+        hist.observe(99.0)
+        hist.attach_exemplar(99.0, "slowpoke")
+        parsed = parse_prometheus_text(registry.expose_text())
+        assert parsed["h"]["exemplars"][float("inf")]["trace_id"] == "slowpoke"
+
+    def test_trace_id_escaping_round_trips(self):
+        registry = MetricsRegistry(latency_bounds=[1.0])
+        hist = registry.histogram("h")
+        hist.observe(0.5)
+        tricky = 'id-with-"quote"-and-\\backslash'
+        hist.attach_exemplar(0.5, tricky)
+        parsed = parse_prometheus_text(registry.expose_text())
+        assert parsed["h"]["exemplars"][1.0]["trace_id"] == tricky
+
+    def test_exemplar_free_exposition_is_unchanged(self):
+        with_none = MetricsRegistry(latency_bounds=[1.0])
+        with_none.histogram("h").observe(0.5)
+        baseline = with_none.expose_text()
+        assert "#" not in baseline.replace("# TYPE", "")
+        parsed = parse_prometheus_text(baseline)
+        assert "exemplars" not in parsed["h"]
+
+
 class TestWindowBoundaries:
     """A sample landing exactly on a window edge buckets identically in
     the live monitor and the post-hoc window API (both floor-divide)."""

@@ -1,0 +1,79 @@
+"""Structured stderr logging: formats, correlation fields, and the
+DecisionLog mirror wired up by ``--log-format json``."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import DecisionLog, StructuredLogger
+
+
+class TestStructuredLogger:
+    def test_json_lines_carry_correlation_fields(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(fmt="json", run_id="sim-42", stream=stream)
+        logger.log("decision", actor="autoscaler", minute=1.5, delta=2)
+        logger.log("http_access", actor="serve", path="/metrics", status=200)
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert all(entry["run_id"] == "sim-42" for entry in lines)
+        assert lines[0]["event"] == "decision"
+        assert lines[0]["actor"] == "autoscaler"
+        assert lines[0]["minute"] == 1.5
+        assert lines[1]["actor"] == "serve"
+        assert lines[1]["path"] == "/metrics"
+        assert logger.lines == 2
+
+    def test_none_fields_are_dropped(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(fmt="json", run_id="r", stream=stream)
+        logger.log("decision", actor="a", reason=None, before=1)
+        entry = json.loads(stream.getvalue())
+        assert "reason" not in entry
+        assert entry["before"] == 1
+
+    def test_text_format_is_key_value(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(fmt="text", run_id="r1", stream=stream)
+        logger.log("decision", actor="chaos", microservice="db")
+        line = stream.getvalue().strip()
+        assert line.startswith("event=decision run_id=r1 actor=chaos")
+        assert "microservice=db" in line
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="log format"):
+            StructuredLogger(fmt="yaml")
+
+
+class TestDecisionLogMirror:
+    def test_records_mirror_to_logger(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(fmt="json", run_id="run-7", stream=stream)
+        log = DecisionLog(logger=logger)
+        log.record(
+            minute=0.5,
+            actor="autoscaler",
+            microservice="db",
+            before=2,
+            after=3,
+            reason="p95 over target",
+        )
+        assert len(log.records) == 1
+        entry = json.loads(stream.getvalue())
+        assert entry["event"] == "decision"
+        assert entry["run_id"] == "run-7"
+        assert entry["actor"] == "autoscaler"
+        assert entry["microservice"] == "db"
+        assert entry["before"] == 2
+        assert entry["after"] == 3
+        assert entry["reason"] == "p95 over target"
+
+    def test_no_logger_means_no_output(self):
+        log = DecisionLog()
+        log.record(
+            minute=0.0, actor="a", microservice="m", before=1, after=1,
+            reason="noop",
+        )
+        assert log.logger is None
+        assert len(log.records) == 1

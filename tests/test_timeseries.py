@@ -323,3 +323,82 @@ class TestGoldenNeutrality:
         assert dump["scrapes"] == store.scrapes
         assert dump["samples"] == store.total_samples
         assert all(len(s["points"]) <= 4 for s in dump["series_data"])
+
+
+class TestQueryEdgeCases:
+    """Edges the live query endpoint leans on: empty windows, windows
+    that straddle the raw-ring / downsample-bin boundary, and selectors
+    over labels containing quotes, backslashes, and commas."""
+
+    def test_quantile_over_time_empty_window_is_none(self):
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        for i in range(5):
+            store.record("lat", {}, float(i), 10.0 * i)
+        # window [99, 100] holds no samples
+        [(series, value)] = store.query(
+            "quantile_over_time(0.95, lat[1m])", at=100.0
+        )
+        assert series.name == "lat"
+        assert value is None
+        # ...while a covering window answers
+        [(_, value)] = store.query("quantile_over_time(0.5, lat[10m])", at=4.0)
+        assert value == 20.0
+
+    def test_empty_window_other_range_functions_are_none(self):
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        store.record("m", {}, 0.0, 1.0)
+        for expr in ("rate(m[1m])", "avg_over_time(m[1m])",
+                     "max_over_time(m[1m])"):
+            [(_, value)] = store.query(expr, at=50.0)
+            assert value is None, expr
+
+    def test_rate_across_downsample_stitch(self):
+        # Tiny ring: 16 raw samples, bins of 4, two stacked levels.  A
+        # 200-sample monotonic counter evicts most of the raw ring, so a
+        # long window must stitch level-1 + level-0 bins + the raw tail.
+        store = TimeSeriesStore(
+            TimeSeriesConfig(
+                scrape_interval_min=0.1,
+                raw_capacity=16,
+                downsample_factor=4,
+                downsample_levels=2,
+                level_capacity=64,
+            )
+        )
+        for i in range(200):
+            store.record("ctr", {}, float(i), 2.0 * i)  # slope 2/min
+        series = store.get("ctr", {})
+        assert not series.raw_covers(10.0)  # the window predates the ring
+        [(_, value)] = store.query("rate(ctr[180m])", at=199.0)
+        # bin fallback: (max of last bin - min of first bin) / span ≈ slope
+        assert value == pytest.approx(2.0, rel=0.05)
+        # a recent window still answered from raw samples stays exact
+        [(_, recent)] = store.query("rate(ctr[5m])", at=199.0)
+        assert recent == pytest.approx(2.0, rel=1e-9)
+
+    def test_selector_on_escaped_label_values(self):
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        tricky = 'he said "hi", path=C:\\tmp'
+        store.record("m", {"note": tricky}, 1.0, 7.0)
+        store.record("m", {"note": "plain"}, 1.0, 8.0)
+        escaped = tricky.replace("\\", "\\\\").replace('"', '\\"')
+        selector = parse_selector(f'm{{note="{escaped}"}}')
+        assert selector.matchers[0].value == tricky
+        [(series, value)] = store.query(f'm{{note="{escaped}"}}', at=1.0)
+        assert series.labels["note"] == tricky
+        assert value == 7.0
+
+    def test_selector_with_comma_inside_value(self):
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        store.record("m", {"svc": "a,b", "tier": "db"}, 1.0, 3.0)
+        [(series, value)] = store.query('m{svc="a,b",tier="db"}', at=1.0)
+        assert series.labels == {"svc": "a,b", "tier": "db"}
+        assert value == 3.0
+
+    def test_negative_matcher_with_escapes(self):
+        store = TimeSeriesStore(TimeSeriesConfig(scrape_interval_min=0.1))
+        store.record("m", {"k": 'x"y'}, 1.0, 1.0)
+        store.record("m", {"k": "z"}, 1.0, 2.0)
+        [(series, value)] = store.query('m{k!="x\\"y"}', at=1.0)
+        assert series.labels["k"] == "z"
+        assert value == 2.0
